@@ -1,0 +1,6 @@
+"""Make the shared harness importable and force verbose prints."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

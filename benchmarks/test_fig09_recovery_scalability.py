@@ -1,0 +1,46 @@
+"""Fig. 9 — recovery scalability with the number of nodes.
+
+PageRank on Wiki; the cluster grows from 10 to 50 nodes and one node
+crashes.  Both strategies speed up with more nodes because every
+survivor helps reload in parallel; Rebirth keeps a fixed replay cost on
+the single new node, while Migration distributes it.
+"""
+
+from __future__ import annotations
+
+from _harness import print_table, run
+
+NODE_COUNTS = (10, 20, 30, 40, 50)
+
+
+def test_fig09_recovery_scalability(benchmark):
+    rows = []
+
+    def experiment():
+        for nodes in NODE_COUNTS:
+            row = [nodes]
+            for strategy in ("rebirth", "migration"):
+                _, result = run("wiki", iterations=4, nodes=nodes,
+                                recovery=strategy,
+                                failures=((2, (min(5, nodes - 1),)),))
+                stats = result.recoveries[0]
+                row.extend([stats.total_s, stats.reload_s,
+                            stats.replay_s])
+            rows.append(row)
+        return rows
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print_table(
+        "Fig. 9: recovery time vs cluster size (PageRank / Wiki, seconds)",
+        ["nodes", "REB total", "REB reload", "REB replay",
+         "MIG total", "MIG reload", "MIG replay"],
+        rows)
+
+    reb = [row[1] for row in rows]
+    mig = [row[4] for row in rows]
+    # Both strategies get faster (or no worse) as the cluster grows.
+    assert reb[-1] <= reb[0]
+    assert mig[-1] <= mig[0]
+    # And the 10-node recovery is measurably slower than the 50-node
+    # one for at least one strategy (parallel reload helps).
+    assert reb[0] > reb[-1] * 1.05 or mig[0] > mig[-1] * 1.05

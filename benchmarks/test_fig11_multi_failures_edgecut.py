@@ -1,0 +1,56 @@
+"""Fig. 11 — tolerating multiple machine failures (edge-cut).
+
+(a) runtime overhead when configured for 1/2/3 simultaneous failures —
+    paper: below 10% even at FT/3;
+(b) recovery time when 1/2/3 nodes actually crash (Wiki) — Rebirth's
+    message exchange grows with crashed nodes while rebuild/replay stay
+    flat; Migration stays low throughout.
+"""
+
+from __future__ import annotations
+
+from _harness import overhead_over_base, print_table, run
+
+
+def test_fig11a_overhead_vs_ft_level(benchmark):
+    rows = []
+
+    def experiment():
+        for level in (1, 2, 3):
+            oh = overhead_over_base("wiki", "replication", ft_level=level)
+            rows.append([f"FT/{level}", oh])
+        return rows
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print_table("Fig. 11a: runtime overhead vs FT level (Wiki)",
+                ["config", "overhead"],
+                [[c, f"{oh:.2%}"] for c, oh in rows])
+    overheads = [oh for _, oh in rows]
+    assert overheads[0] <= overheads[1] <= overheads[2] * 1.05
+    assert overheads[2] < 0.15  # paper: <10% at FT/3
+
+
+def test_fig11b_recovery_vs_crashed_nodes(benchmark):
+    rows = []
+
+    def experiment():
+        for crashed in (1, 2, 3):
+            nodes = tuple(range(crashed))
+            row = [crashed]
+            for strategy in ("rebirth", "migration"):
+                _, result = run("wiki", iterations=4, ft_level=3,
+                                recovery=strategy,
+                                failures=((2, nodes),))
+                row.append(result.recoveries[0].total_s)
+            rows.append(row)
+        return rows
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print_table(
+        "Fig. 11b: recovery time vs #crashed nodes (Wiki, FT/3, seconds)",
+        ["crashed", "REB", "MIG"], rows)
+    reb = [row[1] for row in rows]
+    mig = [row[2] for row in rows]
+    # More crashed nodes never make recovery cheaper.
+    assert reb[0] <= reb[2] * 1.10
+    assert mig[0] <= mig[2] * 1.10

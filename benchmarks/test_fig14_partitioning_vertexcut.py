@@ -1,0 +1,74 @@
+"""Fig. 14 — impact of the vertex-cut partitioning on Imitator.
+
+PageRank on Twitter with Random-, Grid- and Hybrid-cut.
+
+(a) replication factor — paper: 15.96 / 8.34 / 5.56;
+(b) Imitator's runtime overhead (higher replication factors leave more
+    candidate replicas, so hybrid — the best partitioning — is the
+    *worst case* for Imitator: 0.16% / 0.73% / 1.49%) and recovery
+    time (higher replication factors slow recovery).
+"""
+
+from __future__ import annotations
+
+from _harness import NUM_NODES, overhead_over_base, print_table, run
+
+from repro.datasets import load
+
+CUTS = ("random_vertex_cut", "grid_vertex_cut", "hybrid_cut")
+SHORT = {"random_vertex_cut": "random", "grid_vertex_cut": "grid",
+         "hybrid_cut": "hybrid"}
+
+
+def test_fig14a_replication_factor(benchmark):
+    rows = []
+
+    def experiment():
+        from repro.partition import make_partitioner, replication_factor
+        from repro.config import PartitionStrategy
+        graph = load("twitter")
+        for cut in CUTS:
+            part = make_partitioner(PartitionStrategy(cut))(graph,
+                                                            NUM_NODES)
+            rows.append([SHORT[cut], replication_factor(graph, part)])
+        return rows
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print_table("Fig. 14a: replication factor (Twitter, 50 nodes)",
+                ["partitioning", "lambda"], rows)
+    lam = {name: value for name, value in rows}
+    # Paper ordering: hybrid < grid < random.
+    assert lam["hybrid"] < lam["grid"] < lam["random"]
+    assert lam["random"] > 2 * lam["hybrid"]
+
+
+def test_fig14b_overhead_and_recovery(benchmark):
+    rows = []
+
+    def experiment():
+        for cut in CUTS:
+            oh = overhead_over_base("twitter", "replication",
+                                    partition=cut, iterations=3)
+            _, rec = run("twitter", partition=cut, iterations=3,
+                         recovery="rebirth", failures=((1, (5,)),))
+            _, mig = run("twitter", partition=cut, iterations=3,
+                         recovery="migration", failures=((1, (5,)),))
+            rows.append([SHORT[cut], oh, rec.recoveries[0].total_s,
+                         mig.recoveries[0].total_s])
+        return rows
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print_table(
+        "Fig. 14b: Imitator overhead and recovery by partitioning "
+        "(Twitter)",
+        ["partitioning", "overhead", "REB recovery (s)",
+         "MIG recovery (s)"],
+        [[n, f"{o:.2%}", r, m] for n, o, r, m in rows])
+    by_name = {row[0]: row for row in rows}
+    # Hybrid (fewest candidate replicas) pays the largest REP overhead.
+    assert by_name["hybrid"][1] >= by_name["random"][1]
+    # All overheads stay small.
+    assert all(row[1] < 0.10 for row in rows)
+    # Higher replication factors slow recovery down (more copies to
+    # restore): random-cut recovery is slowest.
+    assert by_name["random"][2] > by_name["hybrid"][2]

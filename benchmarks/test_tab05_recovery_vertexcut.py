@@ -1,0 +1,54 @@
+"""Table 5 — recovery time CKPT/Rebirth/Migration (vertex-cut).
+
+Paper (seconds): replication-based recovery beats CKPT by 1.70x-7.66x
+(Rebirth) and 1.29x-7.18x (Migration); Migration wins on the largest
+graph (Twitter: 42.0 vs 33.4) because survivors stream the edge-ckpt
+files in parallel, Rebirth wins on small graphs (GWeb: 0.8 vs 1.4).
+"""
+
+from __future__ import annotations
+
+from _harness import print_table, run
+
+from repro.datasets import ALPHA_GRAPHS, POWERLYRA_GRAPHS
+
+GRAPHS = POWERLYRA_GRAPHS + ALPHA_GRAPHS
+
+
+def recovery_seconds(dataset, **overrides):
+    _, result = run(dataset, partition="hybrid_cut", iterations=3,
+                    failures=((2, (5,)),), **overrides)
+    stats = result.recoveries[0]
+    replay = stats.replayed_iterations * result.avg_iteration_time_s()
+    return stats.total_s + replay
+
+
+def test_tab05_recovery_time(benchmark):
+    rows = []
+
+    def experiment():
+        for dataset in GRAPHS:
+            ckpt = recovery_seconds(dataset, ft="checkpoint",
+                                    checkpoint_interval=2)
+            reb = recovery_seconds(dataset, ft="replication",
+                                   recovery="rebirth")
+            mig = recovery_seconds(dataset, ft="replication",
+                                   recovery="migration")
+            rows.append([dataset, ckpt, reb, mig])
+        return rows
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print_table(
+        "Table 5: recovery time (seconds), vertex-cut (hybrid), 1 failure",
+        ["graph", "CKPT", "REB", "MIG"], rows)
+
+    for dataset, ckpt, reb, mig in rows:
+        assert ckpt > reb, f"{dataset}: CKPT {ckpt:.2f} !> REB {reb:.2f}"
+        assert ckpt > mig, f"{dataset}: CKPT {ckpt:.2f} !> MIG {mig:.2f}"
+    by_name = {row[0]: row for row in rows}
+    # Small-graph regime: Rebirth <= Migration (GWeb row of Table 5).
+    assert by_name["gweb"][2] < by_name["gweb"][3]
+    # Denser alpha graphs take longer to recover than sparser ones
+    # (Table 5's alpha column rises from 2.2 to 1.8).
+    assert by_name["alpha-1.8"][2] > by_name["alpha-2.2"][2]
+    assert by_name["alpha-1.8"][1] > by_name["alpha-2.2"][1]

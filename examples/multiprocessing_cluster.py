@@ -1,0 +1,231 @@
+#!/usr/bin/env python3
+"""Real-process demo: Imitator's replication protocol over OS processes.
+
+The library's engine simulates a cluster deterministically in one
+process (best for experiments). This example shows the same
+master/replica message protocol running across *actual* worker
+processes connected by pipes, to make the distributed structure
+tangible:
+
+* the graph is hash edge-cut partitioned across N worker processes;
+* each worker owns its masters (with their full in-edge lists) and
+  hosts replicas of remote in-neighbors;
+* each PageRank superstep, every worker computes its masters locally
+  and ships value syncs to the replicas' hosts, then all workers meet
+  at a barrier;
+* one worker is killed mid-run; the coordinator reconstructs its
+  partition on a standby process from the replicas the *other* workers
+  hold (the Rebirth idea: surviving state, not disk, feeds recovery),
+  and the job finishes with exactly the same ranks as a clean run.
+
+Run with::
+
+    python examples/multiprocessing_cluster.py
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+
+import numpy as np
+
+from repro.graph import generators
+from repro.partition import hash_edge_cut
+
+NUM_WORKERS = 4
+ITERATIONS = 8
+KILL_AT_ITERATION = 4
+KILLED_WORKER = 2
+DAMPING = 0.85
+
+
+def build_partitions(graph, num_workers):
+    """Per-worker: masters, their in-edges, and replica routing."""
+    part = hash_edge_cut(graph, num_workers)
+    master_of = part.master_of
+    out_deg = graph.out_degrees()
+    partitions = []
+    for w in range(num_workers):
+        masters = np.flatnonzero(master_of == w)
+        in_edges = {int(v): [int(u) for u in graph.in_neighbors(int(v))]
+                    for v in masters}
+        # Where do my masters' values need to go?  To every worker
+        # hosting one of their out-edges — plus, for vertices without
+        # any remote consumer, one *FT replica* on a buddy worker.
+        # This is the paper's Section 4.1 extension: without it, a
+        # replica-less vertex would be unrecoverable after a crash.
+        routes: dict[int, set[int]] = {}
+        for v in masters:
+            targets = {int(master_of[t]) for t in
+                       graph.out_neighbors(int(v))} - {w}
+            if not targets:
+                targets = {(w + 1) % num_workers}
+            routes[int(v)] = targets
+        partitions.append({
+            "worker": w,
+            "masters": [int(v) for v in masters],
+            "in_edges": in_edges,
+            "routes": {v: sorted(t) for v, t in routes.items()},
+            "out_degree": {int(v): int(out_deg[v]) for v in
+                           range(graph.num_vertices)},
+        })
+    return partitions
+
+
+def worker_loop(spec, inbox, outboxes, coordinator):
+    """One worker process: compute masters, sync replicas, barrier."""
+    values = {v: 1.0 for v in spec["masters"]}
+    replicas: dict[int, float] = {}
+    for sources in spec["in_edges"].values():
+        for u in sources:
+            if u not in values:
+                replicas[u] = 1.0
+    # Peers' sync batches may race ahead of the coordinator's commands
+    # on the shared inbox; buffer them until the step consumes them.
+    early_syncs: list = []
+
+    def recv_command():
+        while True:
+            msg = inbox.recv()
+            if msg[0] == "sync":
+                early_syncs.append(msg)
+                continue
+            return msg
+
+    def recv_sync():
+        if early_syncs:
+            return early_syncs.pop(0)
+        msg = inbox.recv()
+        assert msg[0] == "sync"
+        return msg
+
+    while True:
+        command = recv_command()
+        if command[0] == "stop":
+            coordinator.send(("state", spec["worker"], values))
+            return
+        if command[0] == "load":  # rebirth: adopt a recovered partition
+            _, values, replicas = command
+            coordinator.send(("loaded", spec["worker"]))
+            continue
+        assert command[0] == "step"
+        new_values = {}
+        for v in spec["masters"]:
+            acc = 0.0
+            for u in spec["in_edges"][v]:
+                val = values.get(u, replicas.get(u, 1.0))
+                deg = spec["out_degree"][u]
+                if deg:
+                    acc += val / deg
+            new_values[v] = (1 - DAMPING) + DAMPING * acc
+        # Sync phase: batched messages per destination worker.
+        batches: dict[int, list] = {w: [] for w in range(len(outboxes))}
+        for v, destinations in spec["routes"].items():
+            for w in destinations:
+                batches[w].append((v, new_values[v]))
+        for w, batch in batches.items():
+            if w != spec["worker"]:
+                outboxes[w].send(("sync", spec["worker"], batch))
+        values.update(new_values)
+        # Receive one sync bundle from every peer, then barrier.
+        expected = len(outboxes) - 1
+        for _ in range(expected):
+            _kind, _src, batch = recv_sync()
+            for v, value in batch:
+                replicas[v] = value
+        coordinator.send(("barrier", spec["worker"],
+                          dict(values), dict(replicas)))
+
+
+def run_cluster(graph, kill=False):
+    partitions = build_partitions(graph, NUM_WORKERS)
+    ctx = mp.get_context("fork")
+    to_worker = [ctx.Pipe() for _ in range(NUM_WORKERS)]
+    to_coord = [ctx.Pipe() for _ in range(NUM_WORKERS)]
+    workers = []
+    for w, spec in enumerate(partitions):
+        proc = ctx.Process(
+            target=worker_loop,
+            args=(spec, to_worker[w][1],
+                  [to_worker[i][0] for i in range(NUM_WORKERS)],
+                  to_coord[w][0]),
+            daemon=True)
+        proc.start()
+        workers.append(proc)
+
+    # Coordinator: replica snapshots double as the recovery source.
+    last_replica_view: list[dict] = [{} for _ in range(NUM_WORKERS)]
+    last_master_view: list[dict] = [{} for _ in range(NUM_WORKERS)]
+    for iteration in range(ITERATIONS):
+        if kill and iteration == KILL_AT_ITERATION:
+            workers[KILLED_WORKER].terminate()
+            workers[KILLED_WORKER].join()
+            print(f"  !! worker {KILLED_WORKER} killed before "
+                  f"iteration {iteration}")
+            # Rebirth: rebuild the dead partition's masters from the
+            # replicas held by the survivors, on a fresh process.
+            spec = partitions[KILLED_WORKER]
+            recovered = {}
+            for w in range(NUM_WORKERS):
+                if w == KILLED_WORKER:
+                    continue
+                for v, value in last_replica_view[w].items():
+                    if v in spec["in_edges"]:
+                        recovered[v] = value
+            for v in spec["masters"]:
+                recovered.setdefault(v, 1.0)
+            replicas = {}
+            for w in range(NUM_WORKERS):
+                if w == KILLED_WORKER:
+                    continue
+                for v, value in last_master_view[w].items():
+                    replicas[v] = value
+            # The standby adopts the dead worker's *logical identity*:
+            # it inherits the same pipes, so peers keep addressing it
+            # unchanged (the paper's logical-id takeover).
+            proc = ctx.Process(
+                target=worker_loop,
+                args=(spec, to_worker[KILLED_WORKER][1],
+                      [to_worker[i][0] for i in range(NUM_WORKERS)],
+                      to_coord[KILLED_WORKER][0]),
+                daemon=True)
+            proc.start()
+            workers[KILLED_WORKER] = proc
+            to_worker[KILLED_WORKER][0].send(("load", recovered, replicas))
+            to_coord[KILLED_WORKER][1].recv()
+            print(f"  -> reborn with {len(recovered)} master values "
+                  f"recovered from surviving replicas")
+        for w in range(NUM_WORKERS):
+            to_worker[w][0].send(("step",))
+        for w in range(NUM_WORKERS):
+            kind, worker, masters, replicas_view = to_coord[w][1].recv()
+            assert kind == "barrier"
+            last_master_view[worker] = masters
+            last_replica_view[worker] = replicas_view
+    values = {}
+    for w in range(NUM_WORKERS):
+        to_worker[w][0].send(("stop",))
+        _, _, masters = to_coord[w][1].recv()
+        values.update(masters)
+        workers[w].join()
+    return values
+
+
+def main() -> None:
+    graph = generators.power_law(400, alpha=2.0, seed=5, avg_degree=5.0,
+                                 name="mp-demo")
+    print(f"{NUM_WORKERS} worker processes, |V|={graph.num_vertices}, "
+          f"|E|={graph.num_edges}, {ITERATIONS} PageRank iterations")
+    print("\nclean run:")
+    clean = run_cluster(graph, kill=False)
+    print("  done")
+    print("\nrun with a killed worker:")
+    recovered = run_cluster(graph, kill=True)
+    worst = max(abs(clean[v] - recovered[v]) for v in clean)
+    print(f"\nmax |rank difference| clean vs recovered: {worst:.2e}")
+    assert worst < 1e-12
+    print("identical results — replicas were a complete backup.")
+
+
+if __name__ == "__main__":
+    main()

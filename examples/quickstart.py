@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: run PageRank on a simulated 16-node cluster, crash a
+machine mid-run, and watch Imitator recover it from replicas.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import run_job
+from repro.graph import generators
+
+
+def main() -> None:
+    # A small power-law web graph; 10% of vertices are "selfish"
+    # (no out-edges), the case Section 4.4 of the paper optimises.
+    graph = generators.power_law(2_000, alpha=2.0, seed=7,
+                                 avg_degree=6.0, selfish_frac=0.1,
+                                 name="quickstart-web")
+    print(f"graph: |V|={graph.num_vertices} |E|={graph.num_edges}")
+
+    # Failure-free baseline.
+    base = run_job(graph, "pagerank", num_nodes=16, max_iterations=10)
+    print(f"\nbaseline: {base.num_iterations} iterations, "
+          f"{base.total_messages} messages, "
+          f"{base.total_sim_time_s:.2f}s simulated")
+
+    # Same job, but node 3 crashes during iteration 5.  Imitator
+    # detects the failure at the global barrier, reconstructs node 3's
+    # vertices on a standby machine (Rebirth) and the job continues.
+    recovered = run_job(graph, "pagerank", num_nodes=16,
+                        max_iterations=10, recovery="rebirth",
+                        failures=[(5, [3])])
+    stats = recovered.recoveries[0]
+    print(f"\nwith failure: recovered {stats.vertices_recovered} "
+          f"vertices of node {stats.failed_nodes[0]} in "
+          f"{stats.total_s:.3f}s simulated "
+          f"(reload {stats.reload_s:.3f}s, replay {stats.replay_s:.3f}s)")
+
+    # Recovery is exact: every final rank matches the baseline.
+    worst = max(abs(recovered.values[v] - base.values[v])
+                for v in range(graph.num_vertices))
+    print(f"max |rank difference| vs failure-free run: {worst:.2e}")
+    assert worst == 0.0, "edge-cut Rebirth recovery is bitwise exact"
+
+    top = sorted(base.values.items(), key=lambda kv: -kv[1])[:5]
+    print("\ntop-5 ranked vertices:")
+    for vid, rank in top:
+        print(f"  vertex {vid:5d}  rank {rank:.3f}")
+
+
+if __name__ == "__main__":
+    main()

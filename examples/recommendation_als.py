@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Recommendation workload: ALS matrix factorisation on a bipartite
+rating graph (the paper's SYN-GL workload), with a mid-training crash
+recovered by Migration — no standby machines needed.
+
+The example mirrors a production concern the paper motivates: a long
+iterative ML job should not restart from scratch (or from a slow HDFS
+checkpoint) because one worker of fifty died.
+
+Run with::
+
+    python examples/recommendation_als.py
+"""
+
+from __future__ import annotations
+
+from repro import make_engine
+from repro.algorithms import AlternatingLeastSquares
+from repro.graph import generators
+
+NUM_USERS = 1_500
+NUM_ITEMS = 400
+
+
+def train(label: str, failures=()) -> None:
+    graph = generators.bipartite(NUM_USERS, NUM_ITEMS, edges_per_user=12,
+                                 seed=11, name="ratings")
+    program = AlternatingLeastSquares(num_users=NUM_USERS, rank=4)
+    engine = make_engine(graph, program, num_nodes=12, max_iterations=12,
+                         recovery="migration", num_standby=0)
+    for failure in failures:
+        engine.schedule_failure(*failure)
+    result = engine.run()
+    rmse = program.rmse(graph, result.values)
+    line = (f"{label}: {result.num_iterations} ALS half-sweeps, "
+            f"RMSE {rmse:.4f}")
+    if result.recoveries:
+        stats = result.recoveries[0]
+        line += (f"  [node {stats.failed_nodes[0]} crashed; migrated "
+                 f"{stats.vertices_recovered} masters to survivors in "
+                 f"{stats.total_s:.3f}s]")
+    print(line)
+
+    # Show a sample recommendation: the highest predicted unrated item
+    # for user 0.
+    user_vec = result.values[0]
+    rated = set(int(i) for i in graph.out_neighbors(0))
+    best_item, best_score = None, float("-inf")
+    for item in range(NUM_USERS, NUM_USERS + NUM_ITEMS):
+        if item in rated:
+            continue
+        score = sum(a * b for a, b in zip(user_vec, result.values[item]))
+        if score > best_score:
+            best_item, best_score = item, score
+    print(f"  suggested item for user 0: item {best_item - NUM_USERS} "
+          f"(predicted rating {best_score:.2f})")
+
+
+def main() -> None:
+    print(f"training ALS on {NUM_USERS} users x {NUM_ITEMS} items\n")
+    train("failure-free")
+    # Crash node 7 after the sixth half-sweep; Migration redistributes
+    # its users/items across the surviving eleven machines.
+    train("with crash   ", failures=[(6, [7])])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""repro — a faithful reproduction of *Imitator*: replication-based
+fault tolerance for large-scale graph processing (DSN'14 / TPDS'18).
+
+The package contains the full system stack the paper builds on:
+
+* :mod:`repro.cluster` — a deterministic simulated cluster (nodes,
+  network, ZooKeeper-like coordination, heartbeat detector, HDFS-like
+  persistent store);
+* :mod:`repro.graph` / :mod:`repro.datasets` — graph substrate and
+  scaled stand-ins for the paper's datasets;
+* :mod:`repro.partition` — edge-cut (hash, Fennel) and vertex-cut
+  (random, grid, PowerLyra hybrid) partitioning;
+* :mod:`repro.engine` — the synchronous graph-parallel engine in both
+  Cyclops (edge-cut) and PowerLyra (vertex-cut) modes;
+* :mod:`repro.ft` — the paper's contribution: FT replicas, mirrors,
+  the selfish-vertex optimisation, Rebirth and Migration recovery, the
+  Imitator-CKPT checkpoint baseline, and Young's-model analysis;
+* :mod:`repro.algorithms` — PageRank, SSSP, ALS, community detection
+  and friends;
+* :mod:`repro.api` — the one-call job façade.
+
+Quickstart::
+
+    from repro import run_job
+    from repro.datasets import load
+
+    result = run_job(load("gweb"), "pagerank", num_nodes=50,
+                     max_iterations=10, failures=[(5, [3])])
+    print(result.recoveries[0].total_s)
+"""
+
+from repro.api import make_engine, make_program, run_job
+from repro.config import (
+    ClusterConfig,
+    EngineConfig,
+    FaultToleranceConfig,
+    FTMode,
+    JobConfig,
+    PartitionStrategy,
+    RecoveryStrategy,
+)
+from repro.engine.engine import Engine, IterationStats, RunResult
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "run_job",
+    "make_engine",
+    "make_program",
+    "Engine",
+    "RunResult",
+    "IterationStats",
+    "JobConfig",
+    "ClusterConfig",
+    "EngineConfig",
+    "FaultToleranceConfig",
+    "FTMode",
+    "PartitionStrategy",
+    "RecoveryStrategy",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Vertex programs: the paper's four algorithms (PageRank, ALS,
+Community Detection, SSSP) plus extras used by tests and examples."""
+
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.sssp import SingleSourceShortestPath
+from repro.algorithms.als import AlternatingLeastSquares
+from repro.algorithms.community import CommunityDetection
+from repro.algorithms.connected_components import ConnectedComponents
+from repro.algorithms.degree import DegreeCount
+
+#: Short names used by the benchmark drivers (Table 1).
+ALGORITHMS = {
+    "pagerank": PageRank,
+    "sssp": SingleSourceShortestPath,
+    "als": AlternatingLeastSquares,
+    "cd": CommunityDetection,
+    "cc": ConnectedComponents,
+    "degree": DegreeCount,
+}
+
+__all__ = [
+    "PageRank",
+    "SingleSourceShortestPath",
+    "AlternatingLeastSquares",
+    "CommunityDetection",
+    "ConnectedComponents",
+    "DegreeCount",
+    "ALGORITHMS",
+]

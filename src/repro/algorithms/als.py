@@ -1,0 +1,128 @@
+"""Alternating Least Squares matrix factorisation (Table 1, SYN-GL).
+
+The bipartite rating graph has users first (``[0, num_users)``) and
+items after.  Each iteration updates one side: the active side gathers
+its neighbors' latent vectors into the normal equations
+``(sum x x^T + lambda I) w = sum r x`` and solves for its new latent
+vector.  Both sides stay scheduled; ``participates`` alternates them.
+
+History-free (the new latent factor depends only on the fixed other
+side), hence compatible with the selfish-vertex optimisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.vertex_program import (
+    ApplyContext,
+    VertexProgram,
+    VertexView,
+)
+from repro.utils.hashing import stable_hash
+from repro.utils.sizing import BYTES_PER_VALUE
+
+
+class AlternatingLeastSquares(VertexProgram):
+    """ALS with tuple-valued latent vectors of dimension ``rank``."""
+
+    name = "als"
+    history_free = True
+
+    def __init__(self, num_users: int, rank: int = 3,
+                 regularization: float = 0.065):
+        if num_users < 1:
+            raise ValueError("num_users must be >= 1")
+        if rank < 1:
+            raise ValueError("rank must be >= 1")
+        self.num_users = num_users
+        self.rank = rank
+        self.regularization = regularization
+
+    # -- sides --------------------------------------------------------
+
+    def is_user(self, vid: int) -> bool:
+        return vid < self.num_users
+
+    def participates(self, vid: int, ctx: ApplyContext) -> bool:
+        # Even iterations refit users against fixed items, odd refit
+        # items.
+        return self.is_user(vid) == (ctx.iteration % 2 == 0)
+
+    # -- program hooks ---------------------------------------------------
+
+    def initial_value(self, vid: int, ctx: ApplyContext) -> tuple:
+        # Deterministic pseudo-random init in [0.1, 1.1).
+        return tuple(
+            0.1 + (stable_hash(vid * self.rank + i) % 1_000_003) / 1_000_003
+            for i in range(self.rank))
+
+    def gather_init(self):
+        return None
+
+    def gather(self, acc, src: VertexView, weight: float,
+               dst_vid: int):
+        d = self.rank
+        if acc is None:
+            acc = ([0.0] * (d * d), [0.0] * d)
+        ata, atb = acc
+        x = src.value
+        for i in range(d):
+            xi = x[i]
+            row = i * d
+            for j in range(d):
+                ata[row + j] += xi * x[j]
+            atb[i] += weight * xi
+        return acc
+
+    def gather_sum(self, a, b):
+        if a is None:
+            return b
+        if b is None:
+            return a
+        ata = [x + y for x, y in zip(a[0], b[0])]
+        atb = [x + y for x, y in zip(a[1], b[1])]
+        return (ata, atb)
+
+    def acc_nbytes(self, acc) -> int:
+        d = self.rank
+        return (d * d + d) * BYTES_PER_VALUE
+
+    def value_nbytes(self, value) -> int:
+        return self.rank * BYTES_PER_VALUE
+
+    def apply(self, vid: int, old_value: tuple, acc,
+              ctx: ApplyContext) -> tuple:
+        d = self.rank
+        if acc is None:
+            return old_value
+        ata = np.asarray(acc[0], dtype=np.float64).reshape(d, d)
+        atb = np.asarray(acc[1], dtype=np.float64)
+        ata += self.regularization * np.eye(d)
+        try:
+            solved = np.linalg.solve(ata, atb)
+        except np.linalg.LinAlgError:
+            solved = np.linalg.lstsq(ata, atb, rcond=None)[0]
+        return tuple(float(x) for x in solved)
+
+    def activates_neighbors(self, vid: int, old_value, new_value,
+                            ctx: ApplyContext) -> bool:
+        return True
+
+    def stays_active(self, vid: int, old_value, new_value,
+                     ctx: ApplyContext) -> bool:
+        return True
+
+    # -- evaluation helper ------------------------------------------------
+
+    def rmse(self, graph, values: dict[int, tuple]) -> float:
+        """Root-mean-square rating reconstruction error."""
+        total = 0.0
+        count = 0
+        for src, dst, rating in graph.edges():
+            if not self.is_user(src):
+                continue  # score each undirected rating once
+            pred = sum(a * b for a, b in zip(values[src], values[dst]))
+            total += (pred - rating) ** 2
+            count += 1
+        return (total / count) ** 0.5 if count else 0.0

@@ -1,0 +1,77 @@
+"""Community detection by label propagation (Table 1, DBLP).
+
+Each vertex adopts the most frequent label among its in-neighbors
+(ties broken toward the smallest label; a vertex keeps its own label
+when no neighbor label strictly wins).  Label changes activate the
+neighbors; the algorithm quiesces when no label moves.
+
+The tie-break against the vertex's own label makes the program
+history-dependent, so selfish vertices are synced normally.
+"""
+
+from __future__ import annotations
+
+from repro.engine.vertex_program import (
+    ApplyContext,
+    VertexProgram,
+    VertexView,
+)
+from repro.utils.sizing import BYTES_PER_VALUE
+
+
+class CommunityDetection(VertexProgram):
+    """Synchronous label propagation."""
+
+    name = "cd"
+    history_free = False
+
+    def initial_value(self, vid: int, ctx: ApplyContext) -> int:
+        return vid
+
+    def gather_init(self) -> dict[int, int] | None:
+        return None
+
+    def gather(self, acc: dict[int, int] | None, src: VertexView,
+               weight: float, dst_vid: int) -> dict[int, int]:
+        if acc is None:
+            acc = {}
+        acc[src.value] = acc.get(src.value, 0) + 1
+        return acc
+
+    def gather_sum(self, a: dict[int, int] | None,
+                   b: dict[int, int] | None) -> dict[int, int] | None:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        merged = dict(a)
+        for label, count in b.items():
+            merged[label] = merged.get(label, 0) + count
+        return merged
+
+    def acc_nbytes(self, acc) -> int:
+        if not acc:
+            return 1
+        return len(acc) * 2 * BYTES_PER_VALUE
+
+    def apply(self, vid: int, old_value: int, acc,
+              ctx: ApplyContext) -> int:
+        if not acc:
+            return old_value
+        # Most frequent label, smallest label id on ties; the current
+        # label must be strictly beaten to change.
+        best_label, best_count = min(
+            acc.items(), key=lambda item: (-item[1], item[0]))
+        current = acc.get(old_value, 0)
+        if best_count > current or (best_count == current
+                                    and best_label < old_value):
+            return best_label
+        return old_value
+
+    def activates_neighbors(self, vid: int, old_value: int, new_value: int,
+                            ctx: ApplyContext) -> bool:
+        return new_value != old_value or ctx.iteration == 0
+
+    def stays_active(self, vid: int, old_value: int, new_value: int,
+                     ctx: ApplyContext) -> bool:
+        return new_value != old_value or ctx.iteration == 0

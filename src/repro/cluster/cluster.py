@@ -1,0 +1,123 @@
+"""The assembled cluster: nodes + network + coordination + storage.
+
+A :class:`Cluster` owns everything a job needs from the substrate and
+provides the failure-injection surface used by the fault-tolerance tests
+and benchmarks (``crash``, ``claim_standby``).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.coordination import CoordinationService
+from repro.cluster.heartbeat import FailureDetector
+from repro.cluster.network import Network
+from repro.cluster.node import Node, NodeState
+from repro.cluster.storage import PersistentStore
+from repro.config import ClusterConfig
+from repro.costmodel import CostModel, DEFAULT_COST_MODEL, NodeClocks
+from repro.errors import NoStandbyNodeError, UnknownNodeError
+
+
+class Cluster:
+    """A simulated cluster matching the paper's testbed layout."""
+
+    def __init__(self, config: ClusterConfig | None = None,
+                 cost_model: CostModel | None = None,
+                 store_in_memory: bool = False):
+        self.config = config or ClusterConfig()
+        self.cost_model = cost_model or DEFAULT_COST_MODEL
+        n = self.config.num_nodes
+        self.nodes: dict[int, Node] = {}
+        for nid in range(n):
+            self.nodes[nid] = Node(nid, cores=self.config.cores_per_node)
+        for k in range(self.config.num_standby):
+            nid = n + k
+            self.nodes[nid] = Node(nid, cores=self.config.cores_per_node,
+                                   state=NodeState.STANDBY)
+        self.network = Network(is_alive=self._node_is_alive)
+        self.coordination = CoordinationService()
+        self.detector = FailureDetector(
+            self.nodes,
+            interval_s=self.config.heartbeat_interval_s,
+            misses=self.config.heartbeat_misses)
+        self.store = PersistentStore(in_memory=store_in_memory)
+        self.clocks = NodeClocks(len(self.nodes))
+        for nid in range(n):
+            self.coordination.register(nid)
+
+    # -- views -------------------------------------------------------------
+
+    def _node_is_alive(self, node_id: int) -> bool:
+        node = self.nodes.get(node_id)
+        return node is not None and node.is_alive
+
+    def node(self, node_id: int) -> Node:
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise UnknownNodeError(node_id) from None
+
+    def alive_workers(self) -> list[int]:
+        """Ids of alive nodes registered in the barrier group, sorted."""
+        return sorted(nid for nid in self.coordination.members
+                      if self._node_is_alive(nid))
+
+    def standby_nodes(self) -> list[int]:
+        return sorted(nid for nid, node in self.nodes.items()
+                      if node.is_standby)
+
+    @property
+    def num_workers(self) -> int:
+        return self.config.num_nodes
+
+    # -- failure injection ----------------------------------------------
+
+    def crash(self, node_id: int) -> None:
+        """Fail-stop a node: drop memory, purge its in-flight messages."""
+        node = self.node(node_id)
+        node.crash()
+        self.network.purge_from(node_id)
+        self.network.purge_inbox(node_id)
+
+    def claim_standby(self) -> int:
+        """Activate one standby node for Rebirth recovery."""
+        standbys = self.standby_nodes()
+        if not standbys:
+            raise NoStandbyNodeError("no standby node available for Rebirth")
+        nid = standbys[0]
+        self.nodes[nid].activate()
+        self.coordination.register(nid)
+        return nid
+
+    def replace_node(self, crashed_id: int) -> Node:
+        """Let a standby take over a crashed node's *logical* identity.
+
+        The paper's recovery protocols address the replacement by the
+        crashed node's logical id (surviving mirrors "know the new
+        coming node's logic ID", Section 5.3.1), so the simulated
+        standby is consumed and a fresh node re-registers under the old
+        id with a bumped incarnation.
+        """
+        crashed = self.node(crashed_id)
+        if not crashed.is_crashed:
+            raise NoStandbyNodeError(
+                f"node {crashed_id} has not crashed; nothing to replace")
+        standbys = self.standby_nodes()
+        if not standbys:
+            raise NoStandbyNodeError("no standby node available for Rebirth")
+        physical = standbys[0]
+        del self.nodes[physical]
+        incarnation = crashed.incarnation + 1
+        fresh = Node(crashed_id, cores=self.config.cores_per_node)
+        fresh.incarnation = incarnation
+        self.nodes[crashed_id] = fresh
+        self.detector.forget(crashed_id)
+        self.coordination.register(crashed_id)
+        return fresh
+
+    def add_standby(self) -> int:
+        """Provision an extra hot spare (grows the cluster)."""
+        nid = max(self.nodes) + 1
+        self.nodes[nid] = Node(nid, cores=self.config.cores_per_node,
+                               state=NodeState.STANDBY)
+        self.clocks.add_node(self.clocks.global_max())
+        return nid

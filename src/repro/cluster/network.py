@@ -1,0 +1,158 @@
+"""Message transport with batching semantics and byte accounting.
+
+The real systems (Cyclops, PowerLyra) batch all messages between a node
+pair within one superstep into a single transfer.  The simulated network
+therefore exposes per-step ``(src, dst) -> bytes/messages`` counters,
+which the cost model turns into communication time, plus job-lifetime
+totals that back the paper's communication-cost tables (Table 6).
+
+Fail-stop interaction: a message addressed to a crashed node is dropped
+(counted in ``dropped_msgs``); when a node crashes, its not-yet-delivered
+outgoing messages are purged — exactly the "messages from crashed nodes
+may be lost" situation that forces the rollback in Algorithm 1.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import UnknownNodeError
+from repro.utils.sizing import BYTES_PER_MSG_HEADER
+
+
+class MessageKind(enum.Enum):
+    """Logical message classes; recovery messages are tracked separately."""
+
+    #: Master -> replica value synchronisation (edge-cut sync phase,
+    #: vertex-cut scatter phase).
+    SYNC = "sync"
+    #: Master -> mirror full-state synchronisation (value + dynamic
+    #: full-state extras, Section 4.2).
+    MIRROR_SYNC = "mirror_sync"
+    #: Replica -> master partial gather accumulator (vertex-cut).
+    GATHER = "gather"
+    #: Remote activation request (scatter-phase signalling).
+    ACTIVATE = "activate"
+    #: Recovery traffic (Rebirth reload, Migration reshuffle).
+    RECOVERY = "recovery"
+    #: Small control-plane traffic (location updates, promotion notices).
+    CONTROL = "control"
+
+
+@dataclass
+class Message:
+    """One logical message; ``nbytes`` is its modelled wire size."""
+
+    kind: MessageKind
+    src: int
+    dst: int
+    payload: Any
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError("message size cannot be negative")
+
+
+@dataclass
+class TrafficStats:
+    """Aggregated counters, by message kind and node pair."""
+
+    msgs_by_kind: dict[MessageKind, int] = field(
+        default_factory=lambda: defaultdict(int))
+    bytes_by_kind: dict[MessageKind, int] = field(
+        default_factory=lambda: defaultdict(int))
+    total_msgs: int = 0
+    total_bytes: int = 0
+
+    def record(self, msg: Message) -> None:
+        self.msgs_by_kind[msg.kind] += 1
+        self.bytes_by_kind[msg.kind] += msg.nbytes + BYTES_PER_MSG_HEADER
+        self.total_msgs += 1
+        self.total_bytes += msg.nbytes + BYTES_PER_MSG_HEADER
+
+
+class Network:
+    """In-memory batched transport between simulated nodes."""
+
+    def __init__(self, is_alive: Callable[[int], bool]):
+        self._is_alive = is_alive
+        self._queues: dict[int, list[Message]] = defaultdict(list)
+        # step-scoped counters (reset by begin_step)
+        self.step_bytes: dict[int, dict[int, int]] = \
+            defaultdict(lambda: defaultdict(int))
+        self.step_msgs: dict[int, dict[int, int]] = \
+            defaultdict(lambda: defaultdict(int))
+        # lifetime counters
+        self.totals = TrafficStats()
+        self.dropped_msgs = 0
+
+    # -- step lifecycle -------------------------------------------------
+
+    def begin_step(self) -> None:
+        """Reset the per-superstep batching counters."""
+        self.step_bytes = defaultdict(lambda: defaultdict(int))
+        self.step_msgs = defaultdict(lambda: defaultdict(int))
+
+    # -- send / receive ---------------------------------------------------
+
+    def send(self, msg: Message) -> None:
+        """Enqueue a message; drops it if the destination has crashed."""
+        if msg.src == msg.dst:
+            # Local delivery is free in the real systems too: co-located
+            # master/replica pairs share memory.  Still delivered so the
+            # engine code stays uniform, but not counted as traffic.
+            self._queues[msg.dst].append(msg)
+            return
+        if not self._is_alive(msg.dst):
+            self.dropped_msgs += 1
+            return
+        self._queues[msg.dst].append(msg)
+        self.step_bytes[msg.src][msg.dst] += msg.nbytes + BYTES_PER_MSG_HEADER
+        self.step_msgs[msg.src][msg.dst] += 1
+        self.totals.record(msg)
+
+    def deliver(self, node_id: int) -> list[Message]:
+        """Drain and return the destination's inbox."""
+        if not self._is_alive(node_id):
+            raise UnknownNodeError(node_id)
+        inbox = self._queues.get(node_id, [])
+        self._queues[node_id] = []
+        return inbox
+
+    def peek_inbox_size(self, node_id: int) -> int:
+        return len(self._queues.get(node_id, []))
+
+    # -- failure interaction ---------------------------------------------
+
+    def purge_from(self, node_id: int) -> int:
+        """Drop undelivered messages originating at a crashed node.
+
+        Returns the number of purged messages.  Models in-flight loss:
+        a node that dies mid-superstep may have sent only a prefix of
+        its batch, so the engine must roll the iteration back anyway
+        (Algorithm 1, line 9) and we discard the whole batch.
+        """
+        purged = 0
+        for dst, queue in self._queues.items():
+            kept = [m for m in queue if m.src != node_id]
+            purged += len(queue) - len(kept)
+            self._queues[dst] = kept
+        return purged
+
+    def purge_inbox(self, node_id: int) -> int:
+        """Drop messages queued *for* a node (its memory is gone)."""
+        n = len(self._queues.get(node_id, []))
+        self._queues[node_id] = []
+        return n
+
+    # -- accounting views --------------------------------------------------
+
+    def step_bytes_sent_by(self, node_id: int) -> int:
+        return sum(self.step_bytes.get(node_id, {}).values())
+
+    def step_msgs_sent_by(self, node_id: int) -> int:
+        return sum(self.step_msgs.get(node_id, {}).values())

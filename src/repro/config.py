@@ -1,0 +1,156 @@
+"""Configuration objects for the cluster, engine and fault tolerance.
+
+The defaults reproduce the paper's experimental setup (Section 6.1):
+a 50-node cluster with 4 cores per node, 1 GigE networking, and HDFS
+with a replication factor of three as the persistent store.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+class PartitionStrategy(enum.Enum):
+    """Graph partitioning strategies implemented by :mod:`repro.partition`."""
+
+    #: Hash-based (random) edge-cut — Cyclops/Hama default.
+    HASH_EDGE_CUT = "hash_edge_cut"
+    #: Fennel streaming heuristic edge-cut (Section 6.6).
+    FENNEL_EDGE_CUT = "fennel_edge_cut"
+    #: Random vertex-cut — PowerGraph default.
+    RANDOM_VERTEX_CUT = "random_vertex_cut"
+    #: 2-D grid-constrained vertex-cut (GraphBuilder).
+    GRID_VERTEX_CUT = "grid_vertex_cut"
+    #: PowerLyra hybrid-cut — vertex-cut default in the paper (Section 6.10).
+    HYBRID_CUT = "hybrid_cut"
+
+    @property
+    def is_edge_cut(self) -> bool:
+        return self in (PartitionStrategy.HASH_EDGE_CUT,
+                        PartitionStrategy.FENNEL_EDGE_CUT)
+
+    @property
+    def is_vertex_cut(self) -> bool:
+        return not self.is_edge_cut
+
+
+class FTMode(enum.Enum):
+    """Which fault-tolerance mechanism the engine runs with."""
+
+    #: No fault tolerance (the paper's BASE configuration).
+    NONE = "none"
+    #: Replication-based fault tolerance (Imitator, the contribution).
+    REPLICATION = "replication"
+    #: Near-optimal distributed checkpointing (Imitator-CKPT baseline).
+    CHECKPOINT = "checkpoint"
+
+
+class RecoveryStrategy(enum.Enum):
+    """How a REPLICATION-mode cluster recovers from a crash (Section 5)."""
+
+    #: Reconstruct the crashed node's state on a standby node.
+    REBIRTH = "rebirth"
+    #: Scatter the crashed node's work across the surviving nodes.
+    MIGRATION = "migration"
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Static description of the simulated cluster (Section 6.1)."""
+
+    #: Number of worker nodes participating in computation.
+    num_nodes: int = 50
+    #: Standby nodes available for Rebirth recovery (hot spares).
+    num_standby: int = 1
+    #: CPU cores per node (bounds intra-node compute parallelism).
+    cores_per_node: int = 4
+    #: RAM per node in bytes (10 GB in the paper); memory accounting only.
+    ram_bytes: int = 10 * 1024 ** 3
+    #: Heartbeat interval for failure detection, in seconds (Section 3.2).
+    heartbeat_interval_s: float = 0.5
+    #: Heartbeats missed before a node is declared dead.  The default
+    #: yields the ~7 s conservative detection span the paper's case
+    #: study shows (Fig. 12).
+    heartbeat_misses: int = 14
+    #: Root seed for all derived randomness.
+    seed: int = 2014
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ConfigError(f"num_nodes must be >= 1, got {self.num_nodes}")
+        if self.num_standby < 0:
+            raise ConfigError("num_standby must be >= 0")
+        if self.cores_per_node < 1:
+            raise ConfigError("cores_per_node must be >= 1")
+        if self.heartbeat_interval_s <= 0:
+            raise ConfigError("heartbeat_interval_s must be positive")
+
+
+@dataclass(frozen=True)
+class FaultToleranceConfig:
+    """Fault-tolerance policy for one job."""
+
+    mode: FTMode = FTMode.REPLICATION
+    #: Number of simultaneous machine failures to tolerate (K in the paper).
+    ft_level: int = 1
+    #: Recovery strategy for REPLICATION mode.
+    recovery: RecoveryStrategy = RecoveryStrategy.REBIRTH
+    #: Skip synchronising selfish vertices during normal execution
+    #: (Section 4.4).  Never changes results, only message counts.
+    selfish_optimization: bool = True
+    #: Checkpoint interval in iterations (CHECKPOINT mode; Section 6.1
+    #: reports interval=1 as the default upper-bound configuration).
+    checkpoint_interval: int = 1
+    #: Store checkpoints in an in-memory HDFS instead of disk-backed
+    #: (the "in-memory HDFS" variant of Fig. 7).
+    checkpoint_in_memory: bool = False
+    #: Candidate sample size for randomized FT-replica placement.
+    placement_candidates: int = 3
+
+    def __post_init__(self) -> None:
+        if self.ft_level < 0:
+            raise ConfigError(f"ft_level must be >= 0, got {self.ft_level}")
+        if self.mode is FTMode.REPLICATION and self.ft_level < 1:
+            raise ConfigError("REPLICATION mode requires ft_level >= 1")
+        if self.checkpoint_interval < 1:
+            raise ConfigError("checkpoint_interval must be >= 1")
+        if self.placement_candidates < 1:
+            raise ConfigError("placement_candidates must be >= 1")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Execution policy for one job."""
+
+    partition: PartitionStrategy = PartitionStrategy.HASH_EDGE_CUT
+    #: Maximum number of iterations (supersteps) to run.
+    max_iterations: int = 20
+    #: Stop early once no vertex is active.
+    halt_on_inactive: bool = True
+    #: Collect per-iteration metrics (message/byte counters).
+    collect_metrics: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_iterations < 1:
+            raise ConfigError("max_iterations must be >= 1")
+
+
+@dataclass
+class JobConfig:
+    """Bundle of the three configs describing one complete run."""
+
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    engine: EngineConfig = field(default_factory=EngineConfig)
+    ft: FaultToleranceConfig = field(default_factory=FaultToleranceConfig)
+
+    def validate(self) -> None:
+        """Cross-field validation that single configs cannot express."""
+        if self.ft.mode is FTMode.REPLICATION:
+            if self.ft.ft_level >= self.cluster.num_nodes:
+                raise ConfigError(
+                    f"ft_level {self.ft.ft_level} needs at least "
+                    f"{self.ft.ft_level + 1} nodes, cluster has "
+                    f"{self.cluster.num_nodes}")

@@ -1,0 +1,31 @@
+"""Calibrated simulated-time accounting.
+
+The reproduction runs on one machine, so wall-clock time says nothing
+about a 50-node 1-GigE cluster.  Instead, every subsystem *counts* its
+work (edges processed, messages and bytes exchanged, snapshot bytes
+written) and this package converts counts into simulated seconds with a
+simple, documented linear model.  Absolute constants are calibrated
+against the paper's reported magnitudes; the benchmark contract is on
+*shape* (orderings, factors, crossovers), not absolute numbers.
+"""
+
+from repro.costmodel.model import CostModel, DEFAULT_COST_MODEL
+from repro.costmodel.accounting import (
+    NodeClocks,
+    barrier_max,
+    compute_time,
+    pairwise_comm_time,
+    storage_read_time,
+    storage_write_time,
+)
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "NodeClocks",
+    "barrier_max",
+    "compute_time",
+    "pairwise_comm_time",
+    "storage_read_time",
+    "storage_write_time",
+]

@@ -1,0 +1,124 @@
+"""Timing helpers shared by the engine and the recovery paths.
+
+Simulated time is tracked per node in a :class:`NodeClocks` vector.
+Within one BSP superstep each node advances its own clock by its local
+compute and communication time; the global barrier then raises every
+clock to the maximum (plus barrier latency), which is exactly how a
+synchronous engine's wall time composes (Section 2.1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.costmodel.model import CostModel
+
+
+class NodeClocks:
+    """Per-node simulated clocks with a barrier max-reduce."""
+
+    def __init__(self, num_nodes: int, start: float = 0.0):
+        self._t = [start] * num_nodes
+
+    def __len__(self) -> int:
+        return len(self._t)
+
+    def time_of(self, node: int) -> float:
+        return self._t[node]
+
+    def advance(self, node: int, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds}")
+        self._t[node] += seconds
+
+    def barrier(self, model: CostModel,
+                participants: Iterable[int] | None = None) -> float:
+        """Raise participating clocks to their max plus barrier latency.
+
+        Returns the post-barrier time.  ``participants`` defaults to all
+        nodes; crashed nodes are excluded by the caller.
+        """
+        ids = list(participants) if participants is not None \
+            else range(len(self._t))
+        ids = list(ids)
+        if not ids:
+            return max(self._t, default=0.0)
+        peak = max(self._t[i] for i in ids) + model.barrier_latency_s
+        for i in ids:
+            self._t[i] = peak
+        return peak
+
+    def snapshot(self) -> list[float]:
+        return list(self._t)
+
+    def global_max(self) -> float:
+        return max(self._t, default=0.0)
+
+    def add_node(self, start: float) -> int:
+        """Register a clock for a node joining late (a reborn standby)."""
+        self._t.append(start)
+        return len(self._t) - 1
+
+
+def compute_time(model: CostModel, num_edges: int, num_vertices: int,
+                 cores: int) -> float:
+    """Simulated compute time for one node's local work in one superstep."""
+    if cores < 1:
+        raise ValueError("cores must be >= 1")
+    work = (num_edges * model.per_edge_compute_s
+            + num_vertices * model.per_vertex_compute_s)
+    return work * model.data_scale / cores
+
+
+def pairwise_comm_time(model: CostModel,
+                       sent_bytes: Mapping[int, Mapping[int, int]],
+                       sent_msgs: Mapping[int, Mapping[int, int]],
+                       node: int) -> float:
+    """Simulated communication time for ``node`` in one superstep.
+
+    ``sent_bytes[src][dst]`` holds batched payload bytes for the step.
+    A node's NIC serialises its outgoing batches and, concurrently, its
+    incoming batches; BSP overlap makes the slower direction dominate.
+    Per-message CPU is paid on both sides.
+    """
+    out_bytes = sum(sent_bytes.get(node, {}).values())
+    out_msgs = sum(sent_msgs.get(node, {}).values())
+    in_bytes = 0
+    in_msgs = 0
+    for src, by_dst in sent_bytes.items():
+        if src == node:
+            continue
+        in_bytes += by_dst.get(node, 0)
+    for src, by_dst in sent_msgs.items():
+        if src == node:
+            continue
+        in_msgs += by_dst.get(node, 0)
+    out_peers = sum(1 for b in sent_bytes.get(node, {}).values() if b > 0)
+    wire = max(out_bytes, in_bytes) / model.network_bandwidth_bps
+    cpu = (out_msgs + in_msgs) * model.per_message_cpu_s
+    return (wire + cpu) * model.data_scale \
+        + out_peers * model.network_latency_s
+
+
+def storage_write_time(model: CostModel, nbytes: int, num_ops: int,
+                       in_memory: bool) -> float:
+    """Simulated time for one node to write ``nbytes`` to the DFS."""
+    write_bps, _, op_latency = model.dfs_params(in_memory)
+    return (nbytes * model.data_scale / write_bps
+            + max(1, num_ops) * op_latency)
+
+
+def storage_read_time(model: CostModel, nbytes: int, num_ops: int,
+                      in_memory: bool) -> float:
+    """Simulated time for one node to read ``nbytes`` from the DFS."""
+    _, read_bps, op_latency = model.dfs_params(in_memory)
+    return (nbytes * model.data_scale / read_bps
+            + max(1, num_ops) * op_latency)
+
+
+def barrier_max(times: Iterable[float], model: CostModel) -> float:
+    """Free-standing barrier reduce used by recovery phase accounting."""
+    ts = list(times)
+    if not ts:
+        return 0.0
+    return max(ts) + model.barrier_latency_s

@@ -1,0 +1,19 @@
+"""Scaled synthetic stand-ins for the paper's evaluation datasets."""
+
+from repro.datasets.catalog import (
+    ALPHA_GRAPHS,
+    CATALOG,
+    CYCLOPS_WORKLOADS,
+    POWERLYRA_GRAPHS,
+    DatasetSpec,
+    load,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "CATALOG",
+    "CYCLOPS_WORKLOADS",
+    "POWERLYRA_GRAPHS",
+    "ALPHA_GRAPHS",
+    "load",
+]

@@ -1,0 +1,181 @@
+"""Catalog of scaled stand-ins for the paper's datasets.
+
+The paper evaluates on real graphs we cannot ship (and whose full scale
+a single laptop-hosted simulation should not attempt).  Each entry here
+is a deterministic synthetic graph whose *structure* matches the
+original's relevant properties — power-law degree profile, reciprocity
+(and hence selfish-vertex fraction, Fig. 3), bipartiteness, planarity —
+with |V| and |E| scaled down by the recorded factor.  Benchmarks report
+shape (orderings, ratios), so structural fidelity is what matters.
+
+Paper references: Table 1 (Cyclops workloads) and Table 4 (PowerLyra
+graphs, including the alpha-series synthetic power-law graphs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.graph import generators
+from repro.graph.graph import Graph
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One catalog entry: how to build a stand-in and what it mimics."""
+
+    name: str
+    #: |V| and |E| of the original dataset, for the record.
+    paper_vertices: int
+    paper_edges: int
+    #: Approximate linear downscale factor applied to |V|.
+    scale: int
+    builder: Callable[[], Graph]
+    description: str = ""
+
+    def load(self) -> Graph:
+        graph = self.builder()
+        return graph
+
+
+def _gweb() -> Graph:
+    # Google web graph: power-law, large dead-end page population ->
+    # the biggest selfish-vertex fraction in Fig. 3a (>10%).
+    return generators.power_law(
+        4_400, alpha=2.0, seed=36, avg_degree=5.9, selfish_frac=0.14,
+        name="gweb")
+
+
+def _ljournal() -> Graph:
+    # LiveJournal: social follower graph, partially reciprocated, also
+    # >10% replica-less vertices in Fig. 3a.
+    return generators.social_network(
+        12_000, avg_degree=9.0, seed=29, reciprocity=0.45, alpha=2.1,
+        selfish_frac=0.115, name="ljournal")
+
+
+def _wiki() -> Graph:
+    # Wikipedia page links: dense power-law, almost every page links
+    # somewhere (<1% selfish).
+    return generators.power_law(
+        14_300, alpha=1.9, seed=32, avg_degree=18.0, selfish_frac=0.004,
+        name="wiki")
+
+
+def _syn_gl() -> Graph:
+    # SYN-GL: the GraphLab synthetic bipartite rating graph used for
+    # ALS; both directions exist, so no selfish vertices at all.
+    return generators.bipartite(
+        4_400, 1_100, edges_per_user=15, seed=11, name="syn-gl")
+
+
+def _dblp() -> Graph:
+    # DBLP co-authorship: undirected (symmetrised), community-heavy.
+    return generators.community_graph(
+        80, 100, p_in=0.06, p_out_edges=4, seed=26, name="dblp")
+
+
+def _roadca() -> Graph:
+    # California road network: planar lattice, bidirectional, weighted
+    # with the paper's log-normal(0.4, 1.2) weights for SSSP.
+    return generators.road_network(157, 157, seed=36, name="roadca")
+
+
+def _uk2005() -> Graph:
+    # UK-2005 web crawl: very high average degree, strong power law.
+    return generators.power_law(
+        10_000, alpha=1.85, seed=44, avg_degree=23.0, selfish_frac=0.01,
+        name="uk-2005")
+
+
+def _twitter() -> Graph:
+    # Twitter follower graph: the heavy-tailed "natural graph"
+    # centrepiece of the PowerLyra evaluation.
+    return generators.power_law(
+        8_000, alpha=1.8, seed=45, avg_degree=35.0, selfish_frac=0.01,
+        name="twitter")
+
+
+def _alpha(alpha: float, avg_degree: float):
+    def build() -> Graph:
+        return generators.power_law(
+            5_000, alpha=alpha, seed=int(alpha * 100), avg_degree=avg_degree,
+            selfish_frac=0.01, name=f"alpha-{alpha:g}")
+    return build
+
+
+#: name -> spec for every dataset referenced by a table or figure.
+CATALOG: dict[str, DatasetSpec] = {
+    "gweb": DatasetSpec(
+        "gweb", 870_000, 5_110_000, 200, _gweb,
+        "Google web graph [36] stand-in"),
+    "ljournal": DatasetSpec(
+        "ljournal", 4_850_000, 70_000_000, 400, _ljournal,
+        "LiveJournal social graph [29] stand-in"),
+    "wiki": DatasetSpec(
+        "wiki", 5_720_000, 130_100_000, 400, _wiki,
+        "Wikipedia link graph [32] stand-in"),
+    "syn-gl": DatasetSpec(
+        "syn-gl", 110_000, 2_700_000, 20, _syn_gl,
+        "GraphLab synthetic bipartite rating graph [11] stand-in"),
+    "dblp": DatasetSpec(
+        "dblp", 320_000, 1_050_000, 40, _dblp,
+        "DBLP co-authorship graph [26] stand-in"),
+    "roadca": DatasetSpec(
+        "roadca", 1_970_000, 5_530_000, 80, _roadca,
+        "California road network [36] stand-in, log-normal weights"),
+    "uk-2005": DatasetSpec(
+        "uk-2005", 40_000_000, 936_000_000, 4000, _uk2005,
+        "UK-2005 web crawl [44] stand-in"),
+    "twitter": DatasetSpec(
+        "twitter", 42_000_000, 1_470_000_000, 5000, _twitter,
+        "Twitter follower graph [45] stand-in"),
+    "alpha-2.2": DatasetSpec(
+        "alpha-2.2", 10_000_000, 39_000_000, 2000, _alpha(2.2, 3.9),
+        "synthetic power-law, alpha=2.2 (Table 4)"),
+    "alpha-2.1": DatasetSpec(
+        "alpha-2.1", 10_000_000, 54_000_000, 2000, _alpha(2.1, 5.4),
+        "synthetic power-law, alpha=2.1 (Table 4)"),
+    "alpha-2.0": DatasetSpec(
+        "alpha-2.0", 10_000_000, 105_000_000, 2000, _alpha(2.0, 10.5),
+        "synthetic power-law, alpha=2.0 (Table 4)"),
+    "alpha-1.9": DatasetSpec(
+        "alpha-1.9", 10_000_000, 249_000_000, 2000, _alpha(1.9, 24.9),
+        "synthetic power-law, alpha=1.9 (Table 4)"),
+    "alpha-1.8": DatasetSpec(
+        "alpha-1.8", 10_000_000, 673_000_000, 2000, _alpha(1.8, 67.3),
+        "synthetic power-law, alpha=1.8 (Table 4)"),
+}
+
+#: The (algorithm, dataset) pairs of Table 1 driving Figs. 2/3/7/8 and
+#: Table 2.
+CYCLOPS_WORKLOADS: tuple[tuple[str, str], ...] = (
+    ("pagerank", "gweb"),
+    ("pagerank", "ljournal"),
+    ("pagerank", "wiki"),
+    ("als", "syn-gl"),
+    ("cd", "dblp"),
+    ("sssp", "roadca"),
+)
+
+#: The real-graph column of Table 4 / Fig. 13 / Table 5.
+POWERLYRA_GRAPHS: tuple[str, ...] = (
+    "gweb", "ljournal", "wiki", "uk-2005", "twitter")
+
+#: The synthetic alpha column of Table 4 / Fig. 13 / Table 5.
+ALPHA_GRAPHS: tuple[str, ...] = (
+    "alpha-2.2", "alpha-2.1", "alpha-2.0", "alpha-1.9", "alpha-1.8")
+
+
+_CACHE: dict[str, Graph] = {}
+
+
+def load(name: str) -> Graph:
+    """Build (or fetch from cache) a catalog dataset by name."""
+    if name not in CATALOG:
+        raise KeyError(f"unknown dataset {name!r}; "
+                       f"choices: {sorted(CATALOG)}")
+    if name not in _CACHE:
+        _CACHE[name] = CATALOG[name].load()
+    return _CACHE[name]

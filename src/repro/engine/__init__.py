@@ -1,0 +1,32 @@
+"""Graph-parallel engine: Cyclops-style edge-cut and PowerLyra-style
+vertex-cut synchronous execution with replication-aware local graphs."""
+
+from repro.engine.vertex_program import VertexProgram, VertexView, ApplyContext
+from repro.engine.state import Role, VertexSlot
+from repro.engine.local_graph import LocalGraph
+from repro.engine.construction import build_local_graphs, ConstructionReport
+from repro.engine.engine import Engine, IterationStats, RunResult
+from repro.engine.pregel import (
+    MessagePassingPageRank,
+    PregelEngine,
+    PregelProgram,
+    PregelResult,
+)
+
+__all__ = [
+    "PregelEngine",
+    "PregelProgram",
+    "PregelResult",
+    "MessagePassingPageRank",
+    "VertexProgram",
+    "VertexView",
+    "ApplyContext",
+    "Role",
+    "VertexSlot",
+    "LocalGraph",
+    "build_local_graphs",
+    "ConstructionReport",
+    "Engine",
+    "IterationStats",
+    "RunResult",
+]

@@ -1,0 +1,842 @@
+"""The synchronous graph-parallel engine (Algorithm 1 of the paper).
+
+One :class:`Engine` drives a whole job: loading (partitioning,
+replication planning, local-graph construction, FT extensions),
+iterative computation with per-iteration failure detection at the
+global barrier, and recovery through the configured fault-tolerance
+mechanism.
+
+Execution modes
+---------------
+* **edge-cut** (Cyclops): masters gather over their complete local
+  in-edge lists and push value syncs to replicas — one message
+  direction per iteration;
+* **vertex-cut** (PowerLyra GAS): every copy folds a partial gather
+  over its local in-edges, partials flow to masters, masters apply and
+  scatter new values back, activation signals flow master-ward.
+
+Simulated time: every node advances its own clock by modeled compute
+and communication costs; the global barrier max-reduces the clocks
+(:mod:`repro.costmodel`).
+
+Scheduling: compute loops iterate each node's *active sets* and the
+barrier commit touches only *dirty* slots (those that computed or
+received a message), so sparse supersteps cost O(work), not O(graph).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.network import Message, MessageKind
+from repro.config import (
+    FTMode,
+    JobConfig,
+    RecoveryStrategy,
+)
+from repro.costmodel import (
+    CostModel,
+    compute_time,
+    pairwise_comm_time,
+)
+from repro.engine.construction import ConstructionReport, build_local_graphs
+from repro.engine.local_graph import LocalGraph
+from repro.engine.messages import (
+    ActivatePayload,
+    ActiveBroadcastPayload,
+    GatherPayload,
+    MirrorSyncPayload,
+    SyncPayload,
+)
+from repro.engine.state import VertexSlot
+from repro.engine.vertex_program import ApplyContext, VertexProgram
+from repro.errors import (
+    EngineError,
+    UnrecoverableFailureError,
+)
+from repro.ft.checkpoint import CheckpointManager
+from repro.ft.edge_ckpt import EdgeCkptStore, EdgeRecord
+from repro.ft.recovery import RecoveryOutcome, RecoveryStats
+from repro.ft.replication import plan_replication
+from repro.graph.graph import Graph
+from repro.partition.base import make_partitioner
+
+
+@dataclass
+class IterationStats:
+    """Per-superstep accounting."""
+
+    iteration: int
+    active_masters: int
+    messages: int
+    bytes: int
+    compute_edges: int
+    #: Simulated time of this superstep (post-barrier minus pre).
+    sim_time_s: float
+    #: Simulated time spent checkpointing inside this barrier.
+    checkpoint_s: float = 0.0
+    #: Wall-clock time at the end of this iteration's barrier.
+    sim_clock_s: float = 0.0
+
+
+@dataclass
+class RunResult:
+    """Everything a finished (or failed-and-recovered) run reports."""
+
+    algorithm: str
+    num_iterations: int
+    values: dict[int, Any]
+    iteration_stats: list[IterationStats] = field(default_factory=list)
+    recoveries: list[RecoveryStats] = field(default_factory=list)
+    construction: ConstructionReport | None = None
+    total_sim_time_s: float = 0.0
+    total_messages: int = 0
+    total_bytes: int = 0
+    halted_early: bool = False
+
+    def avg_iteration_time_s(self) -> float:
+        times = [s.sim_time_s - s.checkpoint_s for s in self.iteration_stats]
+        return sum(times) / len(times) if times else 0.0
+
+
+@dataclass(frozen=True)
+class _ScheduledFailure:
+    iteration: int
+    nodes: tuple[int, ...]
+    #: "compute" = crash during the superstep (detected at the barrier,
+    #: iteration rolled back); "after_commit" = crash right after the
+    #: barrier commit (detected leaving the barrier, no rollback).
+    phase: str = "compute"
+
+
+class Engine:
+    """Synchronous graph-parallel engine with pluggable fault tolerance."""
+
+    def __init__(self, graph: Graph, program: VertexProgram,
+                 job: JobConfig | None = None,
+                 cluster: Cluster | None = None,
+                 partitioning=None, seed: int | None = None):
+        self.job = job or JobConfig()
+        self.job.validate()
+        self.graph = graph
+        self.program = program
+        self.cluster = cluster or Cluster(
+            self.job.cluster,
+            store_in_memory=self.job.ft.checkpoint_in_memory)
+        self.model: CostModel = self.cluster.cost_model
+        self.seed = self.job.cluster.seed if seed is None else seed
+
+        # -- loading phase (Section 4) --------------------------------
+        if partitioning is None:
+            partitioner = make_partitioner(self.job.engine.partition)
+            partitioning = partitioner(graph, self.cluster.num_workers,
+                                       seed=self.seed)
+        partitioning.validate(graph)
+        self.partitioning = partitioning
+        plan_cfg = (self.job.ft
+                    if self.job.ft.mode is FTMode.REPLICATION
+                    else _zero_ft(self.job.ft))
+        self.plan = plan_replication(graph, partitioning, plan_cfg,
+                                     seed=self.seed)
+        self.local_graphs, self.construction = build_local_graphs(
+            graph, partitioning, self.plan)
+        for node_id, lg in self.local_graphs.items():
+            self.cluster.node(node_id).local = lg
+        self.master_node_of: list[int] = [int(n)
+                                          for n in self.plan.master_of]
+        self.is_edge_cut = partitioning.kind == "edge-cut"
+
+        # -- fault-tolerance wiring ------------------------------------
+        self.ckpt: CheckpointManager | None = None
+        self.edge_ckpt: EdgeCkptStore | None = None
+        if self.job.ft.mode is FTMode.CHECKPOINT:
+            self.ckpt = CheckpointManager(
+                self.cluster.store, self.model,
+                interval=self.job.ft.checkpoint_interval,
+                in_memory=self.job.ft.checkpoint_in_memory,
+                num_nodes=self.cluster.num_workers)
+            self.ckpt.write_metadata(self.local_graphs)
+        if (self.job.ft.mode is FTMode.REPLICATION
+                and not self.is_edge_cut):
+            self.edge_ckpt = EdgeCkptStore(self.cluster.store,
+                                           self.cluster.num_workers)
+            self._write_edge_ckpt_files()
+
+        # -- runtime state ------------------------------------------------
+        self.iteration = 0
+        self._failures: list[_ScheduledFailure] = []
+        self.iteration_stats: list[IterationStats] = []
+        self.recoveries: list[RecoveryStats] = []
+        self._halted = False
+        self._last_barrier_clock = 0.0
+        #: CKPT mode: edge mutations since the last snapshot, per node.
+        self._edge_journal: dict[int, list] = defaultdict(list)
+        #: Slots touched this superstep, per node (committed or rolled
+        #: back at the barrier).
+        self._dirty: dict[int, dict[int, VertexSlot]] = {}
+        #: Masters whose activity flag must be re-broadcast to replicas
+        #: (vertex-cut scheduling).
+        self._broadcast_pending: dict[int, set[int]] = defaultdict(set)
+        self._init_values()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def schedule_failure(self, iteration: int, nodes, phase: str = "compute"
+                         ) -> None:
+        """Inject fail-stop crashes at a chosen point of the run."""
+        if phase not in ("compute", "after_commit"):
+            raise EngineError(f"unknown failure phase: {phase}")
+        nodes = tuple(int(n) for n in
+                      (nodes if hasattr(nodes, "__iter__") else (nodes,)))
+        for n in nodes:
+            if n < 0 or n >= self.cluster.num_workers:
+                raise EngineError(f"cannot schedule failure of node {n}")
+        self._failures.append(_ScheduledFailure(iteration, nodes, phase))
+
+    def run(self, max_iterations: int | None = None) -> RunResult:
+        """Execute the job to completion (Algorithm 1)."""
+        limit = max_iterations or self.job.engine.max_iterations
+        while self.iteration < limit:
+            self._inject("compute")
+            failed = self._run_superstep()
+            if failed is not None:
+                # Failure detected entering the barrier: roll back and
+                # recover, then retry the same iteration.
+                self._rollback()
+                self._recover(failed)
+                continue
+            self._commit_barrier()
+            self.iteration += 1
+            if self._halted and self.job.engine.halt_on_inactive:
+                break
+            self._inject("after_commit")
+            failed = self._leave_barrier()
+            if failed:
+                self._recover(failed)
+        return self._result()
+
+    def values(self) -> dict[int, Any]:
+        """Current committed value of every vertex (from its master)."""
+        out: dict[int, Any] = {}
+        for v in range(self.graph.num_vertices):
+            node = self.master_node_of[v]
+            out[v] = self.local_graphs[node].slot_of(v).value
+        return out
+
+    def memory_report(self) -> dict[int, int]:
+        """Per-node resident bytes of graph state (Tables 3 and 7)."""
+        return {node: lg.memory_nbytes(self.program)
+                for node, lg in self.local_graphs.items()
+                if self.cluster.node(node).is_alive}
+
+    def initial_value_of(self, gid: int) -> Any:
+        """Deterministic pre-run value (checkpoint recovery baseline)."""
+        return self.program.initial_value(gid, self._ctx())
+
+    # ------------------------------------------------------------------
+    # loading helpers
+    # ------------------------------------------------------------------
+
+    def _init_values(self) -> None:
+        ctx = self._ctx()
+        init_cache: dict[int, Any] = {}
+        for lg in self.local_graphs.values():
+            for slot in lg.iter_slots():
+                if slot.gid not in init_cache:
+                    init_cache[slot.gid] = self.program.initial_value(
+                        slot.gid, ctx)
+                slot.value = init_cache[slot.gid]
+                lg.set_active(slot,
+                              self.program.is_initially_active(slot.gid))
+                slot.last_activates = False
+                slot.last_update_iter = -1
+                if slot.is_master:
+                    slot.replicas_known_active = slot.active
+                if slot.is_mirror:
+                    slot.mirror_self_active = slot.active
+
+    def _write_edge_ckpt_files(self) -> None:
+        """Persist per-node edge files for vertex-cut FT (Section 4.3).
+
+        An edge's receiver file is keyed by a node hosting the master
+        or a mirror of its *target* vertex (excluding the owner), so
+        Migration reloads land edges next to a surviving copy.
+        """
+        assert self.edge_ckpt is not None
+        for node, lg in self.local_graphs.items():
+            by_receiver: dict[int, list[EdgeRecord]] = defaultdict(list)
+            for slot in lg.iter_slots():
+                if not slot.in_edges:
+                    continue
+                receiver = self._edge_receiver(slot.gid, node)
+                for src_pos, weight in slot.in_edges:
+                    src_slot = lg.slots[src_pos]
+                    by_receiver[receiver].append(
+                        EdgeRecord(src_slot.gid, slot.gid, weight))
+            self.edge_ckpt.write_node_edges(node, dict(by_receiver))
+
+    def _edge_receiver(self, target_gid: int, owner_node: int) -> int:
+        """Pick the surviving node that would reload this edge."""
+        master = self.master_node_of[target_gid]
+        if master != owner_node:
+            return master
+        master_slot = self.local_graphs[master].slot_of(target_gid)
+        for node in master_slot.meta.mirror_nodes:
+            if node != owner_node:
+                return node
+        # No mirror off the owner (ft_level 0): fall back to the next
+        # node round-robin; recovery of this edge then needs the
+        # checkpoint path anyway.
+        return (owner_node + 1) % self.cluster.num_workers
+
+    # ------------------------------------------------------------------
+    # superstep phases
+    # ------------------------------------------------------------------
+
+    @property
+    def selfish_opt_active(self) -> bool:
+        """Whether the selfish-vertex optimisation applies (Section 4.4).
+
+        Requires a history-free program (so recovery can recompute the
+        dynamic state from neighbors) with immutable edges (so the
+        mirrors' edge copies never go stale without sync).
+        """
+        return (self.job.ft.selfish_optimization
+                and self.program.history_free
+                and not self.program.mutates_edges)
+
+    def _ctx(self) -> ApplyContext:
+        return ApplyContext(iteration=self.iteration,
+                            num_vertices=self.graph.num_vertices,
+                            num_edges=self.graph.num_edges)
+
+    def _alive(self) -> list[int]:
+        return self.cluster.alive_workers()
+
+    def _mark_dirty(self, node: int, slot: VertexSlot) -> None:
+        self._dirty[node][slot.gid] = slot
+
+    def _run_superstep(self) -> tuple[int, ...] | None:
+        """Compute + communicate; returns failed nodes or None."""
+        net = self.cluster.network
+        net.begin_step()
+        alive = self._alive()
+        self._dirty = {node: {} for node in alive}
+        self._step_edges: dict[int, int] = defaultdict(int)
+        self._step_vertices: dict[int, int] = defaultdict(int)
+        #: Staged edge mutations: node -> [(slot, [(idx, new_w)])].
+        self._edge_updates: dict[int, list] = defaultdict(list)
+        start_bytes = net.totals.total_bytes
+        start_msgs = net.totals.total_msgs
+
+        if self.is_edge_cut:
+            self._edge_cut_compute(alive)
+        else:
+            self._vertex_cut_compute(alive)
+
+        # Advance per-node clocks: framework + compute + batched
+        # communication.
+        for node in alive:
+            cores = self.cluster.node(node).cores
+            self.cluster.clocks.advance(node,
+                                        self.model.superstep_overhead_s)
+            self.cluster.clocks.advance(node, compute_time(
+                self.model, self._step_edges[node],
+                self._step_vertices[node], cores))
+            self.cluster.clocks.advance(node, pairwise_comm_time(
+                self.model, net.step_bytes, net.step_msgs, node))
+        self._step_stats = (net.totals.total_msgs - start_msgs,
+                            net.totals.total_bytes - start_bytes)
+
+        # enter_barrier: detect failures (Algorithm 1, line 7).
+        failed = tuple(sorted(self.cluster.detector.newly_failed()))
+        return failed if failed else None
+
+    def _compute_master(self, node: int, lg: LocalGraph, slot: VertexSlot,
+                        acc: Any, ctx: ApplyContext, selfish_opt: bool,
+                        edge_updates: tuple = ()) -> None:
+        """Apply + stage + sync one master's update (both modes)."""
+        program = self.program
+        new_value = program.apply(slot.gid, slot.value, acc, ctx)
+        activates = program.activates_neighbors(
+            slot.gid, slot.value, new_value, ctx)
+        self_active = program.stays_active(
+            slot.gid, slot.value, new_value, ctx)
+        slot.pending_value = new_value
+        slot.has_pending = True
+        slot.pending_activates = activates
+        slot.pending_active = self_active
+        self._mark_dirty(node, slot)
+        self._send_syncs(node, slot, new_value, activates, self_active,
+                         selfish_opt, edge_updates)
+
+    def _gather_edges(self, lg: LocalGraph, slot: VertexSlot,
+                      ctx: ApplyContext) -> tuple[Any, tuple]:
+        """Fold a slot's local in-edges; collect staged edge mutations."""
+        program = self.program
+        acc = program.gather_init()
+        if not self.program.mutates_edges:
+            for src_pos, weight in slot.in_edges:
+                acc = program.gather(acc, lg.view(src_pos), weight,
+                                     slot.gid)
+            return acc, ()
+        updates = []
+        for idx, (src_pos, weight) in enumerate(slot.in_edges):
+            view = lg.view(src_pos)
+            acc = program.gather(acc, view, weight, slot.gid)
+            new_weight = program.update_edge(view, slot.gid, weight, ctx)
+            if new_weight is not None and new_weight != weight:
+                updates.append((idx, new_weight))
+        if updates:
+            self._edge_updates[lg.node_id].append((slot, updates))
+        return acc, tuple(updates)
+
+    # -- edge-cut ---------------------------------------------------------
+
+    def _edge_cut_compute(self, alive: list[int]) -> None:
+        ctx = self._ctx()
+        program = self.program
+        selfish_opt = self.selfish_opt_active
+        for node in alive:
+            lg = self.local_graphs[node]
+            edges = 0
+            vertices = 0
+            for gid in list(lg.active_masters):
+                slot = lg.slot_of(gid)
+                if not program.participates(gid, ctx):
+                    continue
+                acc, updates = self._gather_edges(lg, slot, ctx)
+                edges += len(slot.in_edges)
+                vertices += 1
+                self._compute_master(node, lg, slot, acc, ctx, selfish_opt,
+                                     updates)
+            self._step_edges[node] += edges
+            self._step_vertices[node] += vertices
+
+    def _send_syncs(self, node: int, slot: VertexSlot, new_value: Any,
+                    activates: bool, self_active: bool, selfish_opt: bool,
+                    edge_updates: tuple = ()) -> None:
+        """Master -> replica/mirror synchronisation messages."""
+        if slot.selfish and selfish_opt:
+            # Selfish optimisation (Section 4.4): no consumers, no sync;
+            # recovery recomputes the dynamic state.
+            return
+        meta = slot.meta
+        value_nbytes = self.program.value_nbytes(new_value)
+        mirror_set = set(meta.mirror_nodes)
+        mirror_updates = edge_updates if self.is_edge_cut else ()
+        for replica_node in meta.replica_positions:
+            if replica_node in mirror_set:
+                payload = MirrorSyncPayload(slot.gid, new_value, activates,
+                                            self_active, mirror_updates)
+                kind = MessageKind.MIRROR_SYNC
+            else:
+                payload = SyncPayload(slot.gid, new_value, activates)
+                kind = MessageKind.SYNC
+            self.cluster.network.send(Message(
+                kind=kind, src=node, dst=replica_node, payload=payload,
+                nbytes=payload.nbytes(value_nbytes)))
+
+    # -- vertex-cut -----------------------------------------------------------
+
+    def _vertex_cut_compute(self, alive: list[int]) -> None:
+        ctx = self._ctx()
+        program = self.program
+        net = self.cluster.network
+        selfish_opt = self.selfish_opt_active
+
+        # Phase 0: masters whose activity changed since replicas last
+        # heard broadcast the flag (cheap; zero for always-active runs).
+        for node in alive:
+            lg = self.local_graphs[node]
+            pending = self._broadcast_pending.get(node)
+            if not pending:
+                continue
+            for gid in sorted(pending):
+                if gid not in lg.index_of:
+                    continue
+                slot = lg.slot_of(gid)
+                if not slot.is_master \
+                        or slot.replicas_known_active == slot.active:
+                    continue
+                payload = ActiveBroadcastPayload(gid, slot.active)
+                for replica_node in slot.meta.replica_positions:
+                    net.send(Message(MessageKind.CONTROL, node,
+                                     replica_node, payload,
+                                     payload.nbytes()))
+                slot.replicas_known_active = slot.active
+            pending.clear()
+        for node in alive:
+            lg = self.local_graphs[node]
+            for msg in net.deliver(node):
+                slot = lg.slot_of(msg.payload.gid)
+                lg.set_active(slot, msg.payload.active)
+
+        # Phase 1: local partial gathers flow to masters.
+        partials: dict[int, dict[int, list[tuple[int, Any]]]] = {
+            node: defaultdict(list) for node in alive}
+        for node in alive:
+            lg = self.local_graphs[node]
+            edges = 0
+            for gid in list(lg.active_masters) + list(lg.active_others):
+                slot = lg.slot_of(gid)
+                if not slot.in_edges:
+                    continue
+                if not program.participates(gid, ctx):
+                    continue
+                acc, _updates = self._gather_edges(lg, slot, ctx)
+                edges += len(slot.in_edges)
+                master_node = (node if slot.is_master else slot.master_node)
+                if master_node == node:
+                    partials[node][gid].append((node, acc))
+                else:
+                    payload = GatherPayload(gid, acc)
+                    net.send(Message(MessageKind.GATHER, node, master_node,
+                                     payload,
+                                     payload.nbytes(
+                                         program.acc_nbytes(acc))))
+            self._step_edges[node] += edges
+        for node in alive:
+            for msg in net.deliver(node):
+                partials[node][msg.payload.gid].append(
+                    (msg.src, msg.payload.acc))
+
+        # Phase 2: masters fold partials (node-id order for
+        # determinism), apply, and scatter.
+        for node in alive:
+            lg = self.local_graphs[node]
+            vertices = 0
+            for gid in list(lg.active_masters):
+                slot = lg.slot_of(gid)
+                if not program.participates(gid, ctx):
+                    continue
+                acc = program.gather_init()
+                for _, part in sorted(partials[node].get(gid, ()),
+                                      key=lambda item: item[0]):
+                    acc = program.gather_sum(acc, part)
+                vertices += 1
+                self._compute_master(node, lg, slot, acc, ctx, selfish_opt)
+            self._step_vertices[node] += vertices
+
+    # ------------------------------------------------------------------
+    # barrier commit
+    # ------------------------------------------------------------------
+
+    def _commit_barrier(self) -> None:
+        """Commit pending state inside the global barrier (lines 14-15)."""
+        alive = self._alive()
+        net = self.cluster.network
+
+        # Apply received syncs to replicas/mirrors.
+        for node in alive:
+            lg = self.local_graphs[node]
+            for msg in net.deliver(node):
+                payload = msg.payload
+                slot = lg.slot_of(payload.gid)
+                slot.pending_value = payload.value
+                slot.has_pending = True
+                slot.pending_activates = payload.activates
+                if isinstance(payload, MirrorSyncPayload):
+                    slot.pending_active = payload.self_active
+                    if payload.edge_updates and slot.full_edges is not None:
+                        for idx, weight in payload.edge_updates:
+                            gid0, pos, _old = slot.full_edges[idx]
+                            slot.full_edges[idx] = (gid0, pos, weight)
+                self._mark_dirty(node, slot)
+
+        # Commit staged edge mutations (Section 4.3).  Under vertex-cut
+        # every update is incrementally logged to the owner's edge-ckpt
+        # file, overlapped with execution (bytes counted, no time).
+        if self._edge_updates:
+            for node, items in self._edge_updates.items():
+                lg = self.local_graphs[node]
+                for slot, updates in items:
+                    for idx, weight in updates:
+                        src_pos, _old = slot.in_edges[idx]
+                        slot.in_edges[idx] = (src_pos, weight)
+                        if self.edge_ckpt is not None:
+                            receiver = self._edge_receiver(slot.gid, node)
+                            self.edge_ckpt.log_edge_update(
+                                node, receiver,
+                                EdgeRecord(lg.slots[src_pos].gid, slot.gid,
+                                           weight))
+                        if self.ckpt is not None:
+                            self._edge_journal[node].append(
+                                (slot.gid, idx, weight))
+            self._edge_updates = defaultdict(list)
+
+        # Commit values and resolve activations.
+        activation_signals: set[tuple[int, int, int]] = set()
+        for node in alive:
+            lg = self.local_graphs[node]
+            # Snapshot: activation marking adds targets to the dirty map.
+            for slot in list(self._dirty[node].values()):
+                if not slot.has_pending:
+                    continue
+                slot.value = slot.pending_value
+                slot.last_activates = slot.pending_activates
+                slot.last_update_iter = self.iteration
+                if slot.pending_activates:
+                    for dst_pos in slot.out_edges:
+                        target = lg.slots[dst_pos]
+                        if target is None:
+                            continue
+                        if target.is_master:
+                            target.next_active = True
+                            self._mark_dirty(node, target)
+                        else:
+                            activation_signals.add(
+                                (node, target.master_node, target.gid))
+
+        # Vertex-cut: remote activation signals travel to masters.
+        if activation_signals:
+            for src_node, dst_node, gid in sorted(activation_signals):
+                payload = ActivatePayload(gid)
+                net.send(Message(MessageKind.ACTIVATE, src_node,
+                                 dst_node, payload, payload.nbytes()))
+            for node in alive:
+                lg = self.local_graphs[node]
+                for msg in net.deliver(node):
+                    slot = lg.slot_of(msg.payload.gid)
+                    slot.next_active = True
+                    self._mark_dirty(node, slot)
+
+        # Finalise active flags for the touched slots.
+        for node in alive:
+            lg = self.local_graphs[node]
+            for slot in self._dirty[node].values():
+                if slot.is_master:
+                    self_part = slot.has_pending and slot.pending_active
+                    lg.set_active(slot, bool(self_part or slot.next_active))
+                    if (not self.is_edge_cut
+                            and slot.active != slot.replicas_known_active):
+                        self._broadcast_pending[node].add(slot.gid)
+                elif slot.is_mirror and slot.has_pending:
+                    # Mirrors track the master's self-sustained activity;
+                    # remote activations are replayed at recovery.
+                    slot.mirror_self_active = slot.pending_active
+                slot.clear_pending()
+        total_active = sum(len(self.local_graphs[n].active_masters)
+                           for n in alive)
+        self._halted = total_active == 0
+
+        # Checkpoint inside the barrier (Section 2.2).
+        ckpt_time = 0.0
+        if self.ckpt is not None and self.ckpt.due(self.iteration):
+            ckpt_time = self.ckpt.checkpoint(self.iteration,
+                                             self.local_graphs,
+                                             self.program, alive,
+                                             self._edge_journal)
+            self._edge_journal = defaultdict(list)
+            for node in alive:
+                self.cluster.clocks.advance(node, ckpt_time)
+
+        post = self.cluster.clocks.barrier(self.model, alive)
+        msgs, nbytes = self._step_stats
+        self.iteration_stats.append(IterationStats(
+            iteration=self.iteration,
+            active_masters=total_active,
+            messages=msgs, bytes=nbytes,
+            compute_edges=sum(self._step_edges.values()),
+            sim_time_s=post - self._last_barrier_clock,
+            checkpoint_s=ckpt_time,
+            sim_clock_s=post))
+        self._last_barrier_clock = post
+
+    def _leave_barrier(self) -> tuple[int, ...]:
+        """Post-commit failure check (Algorithm 1, line 16)."""
+        return tuple(sorted(self.cluster.detector.newly_failed()))
+
+    # ------------------------------------------------------------------
+    # failures and recovery
+    # ------------------------------------------------------------------
+
+    def _inject(self, phase: str) -> None:
+        for scheduled in self._failures:
+            if scheduled.iteration == self.iteration \
+                    and scheduled.phase == phase:
+                for node in scheduled.nodes:
+                    if self.cluster.node(node).is_alive:
+                        self.cluster.crash(node)
+        self._failures = [f for f in self._failures
+                          if not (f.iteration == self.iteration
+                                  and f.phase == phase)]
+
+    def _rollback(self) -> None:
+        """Discard the failed superstep (Algorithm 1, line 9)."""
+        net = self.cluster.network
+        for node in self._alive():
+            net.deliver(node)  # drain and drop
+            for slot in self._dirty.get(node, {}).values():
+                slot.clear_pending()
+        self._dirty = {}
+
+    def _recover(self, failed: tuple[int, ...]) -> None:
+        mode = self.job.ft.mode
+        detection = self.cluster.detector.detection_delay_s
+        alive = self._alive()
+        for node in alive:
+            self.cluster.clocks.advance(node, detection)
+        self.cluster.clocks.barrier(self.model, alive)
+
+        if mode is FTMode.NONE:
+            raise UnrecoverableFailureError(
+                f"nodes {list(failed)} crashed and fault tolerance is "
+                f"disabled (BASE configuration)")
+        at_iteration = self.iteration
+        if mode is FTMode.CHECKPOINT:
+            outcome = self._checkpoint_recover(failed)
+        else:
+            from repro.ft.migration import MigrationRecovery
+            from repro.ft.rebirth import RebirthRecovery
+            if self.job.ft.recovery is RecoveryStrategy.REBIRTH:
+                recovery = RebirthRecovery(self)
+            else:
+                recovery = MigrationRecovery(self)
+            outcome = recovery.recover(failed)
+        outcome.stats.detection_s = detection
+        outcome.stats.at_iteration = at_iteration
+        for gid, node in outcome.master_of_updates.items():
+            self.master_node_of[gid] = node
+        self.recoveries.append(outcome.stats)
+        self._refresh_broadcast_state()
+        # Recovery time advances every participant's clock.
+        participants = self._alive()
+        for node in participants:
+            self.cluster.clocks.advance(node, outcome.stats.total_s)
+        post = self.cluster.clocks.barrier(self.model, participants)
+        self._last_barrier_clock = post
+
+    def _refresh_broadcast_state(self) -> None:
+        """Re-derive the vertex-cut activity-broadcast queue.
+
+        Recovery may leave masters whose replicas hold stale activity
+        flags; a single post-recovery scan re-queues them (rare path).
+        """
+        if self.is_edge_cut:
+            return
+        self._broadcast_pending = defaultdict(set)
+        for node in self._alive():
+            lg = self.local_graphs[node]
+            for slot in lg.iter_masters():
+                if slot.active != slot.replicas_known_active:
+                    self._broadcast_pending[node].add(slot.gid)
+
+    def _checkpoint_recover(self, failed: tuple[int, ...]
+                            ) -> RecoveryOutcome:
+        """Reload-everything recovery of the CKPT baseline (Section 2.3.2).
+
+        Every node rolls back to the last snapshot; standby nodes take
+        over the crashed logical ids and rebuild their local graph from
+        the (deterministic) metadata snapshot; the engine then replays
+        the lost iterations.
+        """
+        assert self.ckpt is not None
+        for node in failed:
+            self.cluster.replace_node(node)
+        alive = self._alive()
+        if self.program.mutates_edges:
+            # Edge state diverged from the loading-time topology on
+            # every node; rebuild all local graphs to pristine weights
+            # and let the snapshot journal re-apply the updates.
+            rebuild = set(alive)
+        else:
+            rebuild = set(failed)
+        rebuilt_all, _ = build_local_graphs(self.graph, self.partitioning,
+                                            self.plan) \
+            if rebuild else ({}, None)
+        ctx = self._ctx()
+        for node in sorted(rebuild):
+            fresh = rebuilt_all[node]
+            for slot in fresh.iter_slots():
+                slot.value = self.program.initial_value(slot.gid, ctx)
+                fresh.set_active(
+                    slot, self.program.is_initially_active(slot.gid))
+            self.local_graphs[node] = fresh
+            self.cluster.node(node).local = fresh
+        self._edge_journal = defaultdict(list)
+        stats = self.ckpt.recover(self.local_graphs, self.program, alive,
+                                  self.initial_value_of)
+        reconstruct_s = self._full_resync(alive)
+        lost = self.iteration - stats.resume_iteration
+        self.iteration = stats.resume_iteration
+        recovery = RecoveryStats(
+            strategy="checkpoint",
+            failed_nodes=failed,
+            newbie_nodes=failed,
+            reload_s=stats.reload_s,
+            reconstruct_s=reconstruct_s,
+            replay_s=0.0,  # replay happens as re-executed iterations
+            vertices_recovered=stats.vertices_restored,
+            recovery_bytes=stats.bytes_read,
+            replayed_iterations=max(0, lost),
+        )
+        return RecoveryOutcome(stats=recovery, joined_nodes=failed)
+
+    def _full_resync(self, alive: list[int]) -> float:
+        """Masters re-push full state to every replica (reconstruction).
+
+        Returns the simulated communication time (max over nodes).
+        """
+        net = self.cluster.network
+        net.begin_step()
+        for node in alive:
+            lg = self.local_graphs[node]
+            for slot in lg.iter_masters():
+                value_nbytes = self.program.value_nbytes(slot.value)
+                payload = MirrorSyncPayload(slot.gid, slot.value,
+                                            slot.last_activates,
+                                            slot.active)
+                for replica_node in slot.meta.replica_positions:
+                    if not self.cluster.node(replica_node).is_alive:
+                        continue
+                    net.send(Message(MessageKind.RECOVERY, node,
+                                     replica_node, payload,
+                                     payload.nbytes(value_nbytes)))
+        slowest = 0.0
+        for node in alive:
+            slowest = max(slowest, pairwise_comm_time(
+                self.model, net.step_bytes, net.step_msgs, node))
+            lg = self.local_graphs[node]
+            for msg in net.deliver(node):
+                payload = msg.payload
+                slot = lg.slot_of(payload.gid)
+                slot.value = payload.value
+                slot.last_activates = payload.activates
+                lg.set_active(slot, payload.self_active)
+                if slot.is_mirror:
+                    slot.mirror_self_active = payload.self_active
+        for node in alive:
+            for slot in self.local_graphs[node].iter_masters():
+                slot.replicas_known_active = slot.active
+        return slowest
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+
+    def _result(self) -> RunResult:
+        totals = self.cluster.network.totals
+        return RunResult(
+            algorithm=self.program.name,
+            num_iterations=self.iteration,
+            values=self.values(),
+            iteration_stats=self.iteration_stats,
+            recoveries=self.recoveries,
+            construction=self.construction,
+            total_sim_time_s=self.cluster.clocks.global_max(),
+            total_messages=totals.total_msgs,
+            total_bytes=totals.total_bytes,
+            halted_early=self._halted,
+        )
+
+
+def _zero_ft(ft_config):
+    """FT config clone with replication disabled (BASE/CKPT planning)."""
+    from dataclasses import replace
+    return replace(ft_config, mode=FTMode.NONE, ft_level=0)

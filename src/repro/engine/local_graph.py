@@ -1,0 +1,156 @@
+"""Per-node local graph: the position-stable vertex array.
+
+Topology is expressed as array indices (a source's local position), so
+recovering a crashed node is a matter of writing each received vertex
+back into its recorded position — no name resolution, no locks
+(Section 5.1.2).  Positions are never reused while a job runs; slots
+vacated by Migration keep a tombstone ``None``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.engine.state import Role, VertexSlot
+from repro.engine.vertex_program import VertexProgram, VertexView
+from repro.errors import EngineError
+
+
+class LocalGraph:
+    """One node's vertex array plus gid index."""
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        self.slots: list[VertexSlot | None] = []
+        self.index_of: dict[int, int] = {}
+        #: gids of *master* slots whose ``active`` flag is set — the
+        #: engine's compute loops iterate these instead of scanning the
+        #: array, so sparse supersteps (SSSP tails) cost O(active), not
+        #: O(all slots).  Maintained by :meth:`set_active`; never flip
+        #: ``slot.active`` directly once a slot is registered.
+        self.active_masters: set[int] = set()
+        #: Same for non-master slots (vertex-cut replicas gather too).
+        self.active_others: set[int] = set()
+
+    # -- construction -----------------------------------------------------
+
+    def add_slot(self, slot: VertexSlot, position: int | None = None) -> int:
+        """Append (or place at a fixed position) one vertex slot."""
+        if slot.gid in self.index_of:
+            raise EngineError(
+                f"vertex {slot.gid} already present on node {self.node_id}")
+        if position is None:
+            position = len(self.slots)
+            self.slots.append(slot)
+        else:
+            while len(self.slots) <= position:
+                self.slots.append(None)
+            if self.slots[position] is not None:
+                raise EngineError(
+                    f"position {position} on node {self.node_id} occupied")
+            self.slots[position] = slot
+        self.index_of[slot.gid] = position
+        if slot.active:
+            self.set_active(slot, True)
+        return position
+
+    def set_active(self, slot: VertexSlot, flag: bool) -> None:
+        """Flip a slot's activity, keeping the active indexes in sync.
+
+        Also call this after a role change (Migration promotion) so the
+        gid moves to the matching set.
+        """
+        slot.active = flag
+        self.active_masters.discard(slot.gid)
+        self.active_others.discard(slot.gid)
+        if flag:
+            if slot.role is Role.MASTER:
+                self.active_masters.add(slot.gid)
+            else:
+                self.active_others.add(slot.gid)
+
+    def remove_slot(self, gid: int) -> VertexSlot:
+        """Tombstone a slot (Migration moves vertices between nodes)."""
+        position = self.index_of.pop(gid, None)
+        if position is None:
+            raise EngineError(
+                f"vertex {gid} not present on node {self.node_id}")
+        slot = self.slots[position]
+        self.slots[position] = None
+        self.active_masters.discard(gid)
+        self.active_others.discard(gid)
+        return slot
+
+    # -- lookup ---------------------------------------------------------------
+
+    def __contains__(self, gid: int) -> bool:
+        return gid in self.index_of
+
+    def slot_of(self, gid: int) -> VertexSlot:
+        try:
+            slot = self.slots[self.index_of[gid]]
+        except KeyError:
+            raise EngineError(
+                f"vertex {gid} not on node {self.node_id}") from None
+        assert slot is not None
+        return slot
+
+    def position_of(self, gid: int) -> int:
+        return self.index_of[gid]
+
+    def slot_at(self, position: int) -> VertexSlot | None:
+        if position >= len(self.slots):
+            return None
+        return self.slots[position]
+
+    def iter_slots(self) -> Iterator[VertexSlot]:
+        for slot in self.slots:
+            if slot is not None:
+                yield slot
+
+    def iter_masters(self) -> Iterator[VertexSlot]:
+        for slot in self.iter_slots():
+            if slot.role is Role.MASTER:
+                yield slot
+
+    def iter_mirrors(self) -> Iterator[VertexSlot]:
+        for slot in self.iter_slots():
+            if slot.role is Role.MIRROR:
+                yield slot
+
+    def view(self, position: int) -> VertexView:
+        """Neighbor view for gather, by local position."""
+        slot = self.slots[position]
+        assert slot is not None
+        return VertexView(vid=slot.gid, value=slot.value,
+                          out_degree=slot.out_degree,
+                          in_degree=slot.in_degree)
+
+    # -- stats ------------------------------------------------------------------
+
+    def counts(self) -> dict[str, int]:
+        masters = mirrors = replicas = ft = 0
+        edges = 0
+        for slot in self.iter_slots():
+            if slot.role is Role.MASTER:
+                masters += 1
+            elif slot.role is Role.MIRROR:
+                mirrors += 1
+                if slot.ft_only:
+                    ft += 1
+            else:
+                replicas += 1
+            edges += len(slot.in_edges)
+        return {"masters": masters, "mirrors": mirrors,
+                "replicas": replicas, "ft_replicas": ft,
+                "local_in_edges": edges,
+                "total": masters + mirrors + replicas}
+
+    def memory_nbytes(self, program: VertexProgram) -> int:
+        """Approximate resident footprint of this node's graph state."""
+        total = 0
+        for slot in self.iter_slots():
+            total += slot.nbytes(program.value_nbytes(slot.value))
+        # The array itself and the gid index.
+        total += len(self.slots) * 8 + len(self.index_of) * 24
+        return total

@@ -1,0 +1,144 @@
+"""Message payloads exchanged by the engine and recovery paths.
+
+Sizes mirror the compact encodings of the real systems: a plain sync is
+an id + value + flag byte; a mirror (full-state) sync adds the dynamic
+full-state extras (Section 4.2); recovery messages carry whole vertices
+and are batched per destination (Section 5.1.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.utils.sizing import BYTES_PER_EDGE, BYTES_PER_VID
+
+
+@dataclass(frozen=True)
+class SyncPayload:
+    """Master -> replica value synchronisation."""
+
+    gid: int
+    value: Any
+    #: Did this update request activation of out-neighbors?
+    activates: bool
+
+    def nbytes(self, value_nbytes: int) -> int:
+        return BYTES_PER_VID + value_nbytes + 1
+
+
+@dataclass(frozen=True)
+class MirrorSyncPayload:
+    """Master -> mirror full-state synchronisation.
+
+    Beyond the plain sync, carries the dynamic full-state extras: the
+    master's self-sustained activity for the next superstep (remote
+    activations are replayed at recovery instead, Section 5.1.3) and —
+    for edge-mutating algorithms under edge-cut — the superstep's edge
+    updates, so the mirror's duplicated edge list stays fresh
+    (Section 4.3: edges are "duplicated and synchronized to replicas
+    upon updates").
+    """
+
+    gid: int
+    value: Any
+    activates: bool
+    #: Master stays active next superstep by its own computation.
+    self_active: bool
+    #: ``(in-edge index, new weight)`` pairs; empty for the common
+    #: immutable-edge algorithms.
+    edge_updates: tuple[tuple[int, float], ...] = ()
+
+    def nbytes(self, value_nbytes: int) -> int:
+        return (BYTES_PER_VID + value_nbytes + 2
+                + 12 * len(self.edge_updates))
+
+
+@dataclass(frozen=True)
+class GatherPayload:
+    """Replica -> master partial accumulator (vertex-cut gather)."""
+
+    gid: int
+    acc: Any
+
+    def nbytes(self, acc_nbytes: int) -> int:
+        return BYTES_PER_VID + acc_nbytes
+
+
+@dataclass(frozen=True)
+class ActivatePayload:
+    """Activation signal for a vertex's master (vertex-cut scatter)."""
+
+    gid: int
+
+    def nbytes(self) -> int:
+        return BYTES_PER_VID
+
+
+@dataclass(frozen=True)
+class ActiveBroadcastPayload:
+    """Master -> replicas: activity flag for the coming superstep."""
+
+    gid: int
+    active: bool
+
+    def nbytes(self) -> int:
+        return BYTES_PER_VID + 1
+
+
+@dataclass
+class RecoveredVertex:
+    """One vertex shipped in a recovery message (Section 5.1).
+
+    ``position`` is the array slot the vertex must occupy at the
+    destination, enabling the lock-free positional reconstruction.
+    ``full_edges`` travels only for masters under edge-cut.
+    """
+
+    gid: int
+    role: str
+    position: int
+    value: Any
+    active: bool
+    last_activates: bool
+    out_degree: int
+    in_degree: int
+    master_node: int
+    ft_only: bool = False
+    selfish: bool = False
+    mirror_id: int = -1
+    #: (src_gid, src_position, weight) triples; None unless an
+    #: edge-cut master/mirror is being recovered.
+    full_edges: list[tuple[int, int, float]] | None = None
+    #: Copy of the master metadata (masters and mirrors only).
+    replica_positions: dict[int, int] | None = None
+    mirror_nodes: list[int] | None = None
+    master_position: int = -1
+
+    def nbytes(self, value_nbytes: int) -> int:
+        size = BYTES_PER_VID + 8 + value_nbytes + 4
+        if self.full_edges is not None:
+            size += len(self.full_edges) * BYTES_PER_EDGE
+        if self.replica_positions is not None:
+            size += len(self.replica_positions) * (BYTES_PER_VID + 4)
+        if self.mirror_nodes is not None:
+            size += len(self.mirror_nodes) * 4
+        return size
+
+
+@dataclass
+class RecoveryBatch:
+    """A batch of recovered vertices plus shared global state.
+
+    All recovery messages are sent in a batched way to cut message
+    overhead (Section 5.1.1); the batch also carries global state such
+    as the iteration count the destination must resume from.
+    """
+
+    src_node: int
+    vertices: list[RecoveredVertex] = field(default_factory=list)
+    iteration: int = 0
+
+    def nbytes(self, value_nbytes_of) -> int:
+        return 16 + sum(v.nbytes(value_nbytes_of(v.value))
+                        for v in self.vertices)

@@ -1,0 +1,156 @@
+"""The vertex-program abstraction ("think as a vertex", Section 1).
+
+One program definition runs unchanged on both engine modes, mirroring
+the paper's claim that fault-tolerance support needs *no source changes
+to graph algorithms* (Section 6):
+
+* **edge-cut** (Cyclops): the master holds all in-edges, so gather
+  runs entirely locally and ``apply`` commits the new value;
+* **vertex-cut** (PowerLyra/GAS): every node folds a *partial* gather
+  over its local in-edges, partials travel to the master, and the
+  master applies.
+
+The gather fold must therefore be commutative and associative over
+:meth:`VertexProgram.gather_sum`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any
+
+from repro.utils.sizing import BYTES_PER_VALUE
+
+
+@dataclass(frozen=True)
+class VertexView:
+    """Read-only view of a neighboring vertex offered to ``gather``.
+
+    Replicas carry the same static degree information as masters, so
+    this view is constructible anywhere the edge lives.
+    """
+
+    vid: int
+    value: Any
+    out_degree: int
+    in_degree: int
+
+
+@dataclass(frozen=True)
+class ApplyContext:
+    """Per-superstep context handed to ``apply``."""
+
+    iteration: int
+    num_vertices: int
+    num_edges: int
+
+
+class VertexProgram(abc.ABC):
+    """Base class for graph algorithms.
+
+    Subclasses override the gather/apply/activation hooks; everything
+    has a sensible default for always-active, scalar-valued programs.
+    """
+
+    #: Human-readable algorithm name (used in reports).
+    name: str = "vertex-program"
+
+    #: True when ``apply`` depends only on gathered neighbor state, not
+    #: on the vertex's own previous value.  Gates the selfish-vertex
+    #: optimisation (Section 4.4): a selfish vertex's dynamic state can
+    #: be *recomputed* from neighbors during recovery only for
+    #: history-free programs.
+    history_free: bool = False
+
+    #: True when the program mutates edge state during computation
+    #: (rare; Section 4.3).  Triggers incremental edge-ckpt logging
+    #: under vertex-cut.
+    mutates_edges: bool = False
+
+    # -- initialisation -------------------------------------------------
+
+    @abc.abstractmethod
+    def initial_value(self, vid: int, ctx: ApplyContext) -> Any:
+        """Initial vertex value before the first superstep."""
+
+    def is_initially_active(self, vid: int) -> bool:
+        """Whether the vertex computes in the first superstep."""
+        return True
+
+    # -- gather ------------------------------------------------------------
+
+    def gather_init(self) -> Any:
+        """Identity element of the gather fold."""
+        return None
+
+    @abc.abstractmethod
+    def gather(self, acc: Any, src: VertexView, weight: float,
+               dst_vid: int) -> Any:
+        """Fold one in-edge ``(src -> dst_vid, weight)`` into ``acc``."""
+
+    def update_edge(self, src: VertexView, dst_vid: int, weight: float,
+                    ctx: ApplyContext) -> float | None:
+        """Optionally mutate one in-edge's state (weight) per superstep.
+
+        Called while the edge is gathered (the gather itself sees the
+        *old* weight; updates commit at the barrier, preserving BSP
+        semantics).  Return the new weight, or ``None`` to leave the
+        edge unchanged.  Only consulted when :attr:`mutates_edges` is
+        True; under vertex-cut the update is incrementally logged to
+        the edge-ckpt files (Section 4.3), under edge-cut it rides the
+        mirror synchronisation.
+        """
+        return None
+
+    def gather_sum(self, a: Any, b: Any) -> Any:
+        """Combine two partial accumulators (vertex-cut only).
+
+        The default covers the common cases: ``None`` identities and
+        numeric partials.
+        """
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return a + b
+
+    def acc_nbytes(self, acc: Any) -> int:
+        """Wire size of a partial accumulator (GATHER messages)."""
+        if acc is None:
+            return 1
+        if isinstance(acc, (tuple, list)):
+            return max(1, len(acc)) * BYTES_PER_VALUE
+        return BYTES_PER_VALUE
+
+    # -- apply / scatter -----------------------------------------------------
+
+    @abc.abstractmethod
+    def apply(self, vid: int, old_value: Any, acc: Any,
+              ctx: ApplyContext) -> Any:
+        """Produce the vertex's new value from the gathered accumulator."""
+
+    def participates(self, vid: int, ctx: ApplyContext) -> bool:
+        """Whether an active vertex actually computes this superstep.
+
+        ALS uses this to alternate sides; everything else returns True.
+        """
+        return True
+
+    def activates_neighbors(self, vid: int, old_value: Any, new_value: Any,
+                            ctx: ApplyContext) -> bool:
+        """Whether this update schedules the out-neighbors next superstep."""
+        return True
+
+    def stays_active(self, vid: int, old_value: Any, new_value: Any,
+                     ctx: ApplyContext) -> bool:
+        """Whether the vertex re-activates itself (PageRank-style loops)."""
+        return True
+
+    # -- convergence ----------------------------------------------------------
+
+    def value_nbytes(self, value: Any) -> int:
+        """Wire size of one vertex value (SYNC messages)."""
+        if isinstance(value, (tuple, list)):
+            return max(1, len(value)) * BYTES_PER_VALUE
+        return BYTES_PER_VALUE

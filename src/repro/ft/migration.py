@@ -1,0 +1,362 @@
+"""Migration-based recovery (Section 5.2).
+
+No standby machines: the crashed nodes' work scatters across the
+survivors.
+
+* Each surviving node scans its **mirrors**; the lowest-id surviving
+  mirror of a crashed master is **promoted** to master in place.
+* Under edge-cut the promoted mirror already holds the master's full
+  in-edge list; sources without a local copy get **new replicas**
+  created (the paper's "replica 6 on Node1" case), fetched from their
+  masters.
+* Under vertex-cut each survivor exclusively reloads one pre-assigned
+  edge-ckpt file of the crashed node from persistent storage, in
+  parallel (Section 5.2.1), creating missing endpoint replicas the same
+  way.
+* Location updates flow to every surviving copy, new FT replicas and
+  mirrors restore the fault-tolerance level (invariant P6), and the
+  replay phase fixes activation state for the promoted masters only.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING
+
+from repro.cluster.network import Message, MessageKind
+from repro.costmodel import pairwise_comm_time, storage_read_time
+from repro.engine.state import Role
+from repro.errors import UnrecoverableFailureError
+from repro.ft import _recovery_common as common
+from repro.ft.edge_ckpt import EdgeRecord
+from repro.ft.recovery import RecoveryOutcome, RecoveryStats
+from repro.utils.sizing import BYTES_PER_VID
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.engine import Engine
+
+
+class MigrationRecovery:
+    """Scatter a crashed node's work across the survivors."""
+
+    def __init__(self, engine: "Engine"):
+        self.engine = engine
+
+    def recover(self, failed: tuple[int, ...]) -> RecoveryOutcome:
+        engine = self.engine
+        model = engine.model
+        failed_set = set(failed)
+        stats = RecoveryStats(strategy="migration", failed_nodes=failed)
+        survivors = [n for n in engine._alive() if n not in failed_set]
+        if not survivors:
+            raise UnrecoverableFailureError("every worker node crashed")
+        last_commit = common.last_committed_iteration(engine)
+
+        # ---------------- Reloading: promotion ----------------
+        promotions: list[tuple[int, int]] = []  # (gid, new master node)
+        selfish_promoted: list[int] = []
+        scan_cost: dict[int, int] = defaultdict(int)
+        selfish_opt = engine.selfish_opt_active
+        for node in survivors:
+            lg = engine.local_graphs[node]
+            for slot in lg.iter_slots():
+                scan_cost[node] += 1
+                if not slot.is_mirror or slot.master_node not in failed_set:
+                    continue
+                if common.surviving_recoverer(slot.meta, failed_set) != node:
+                    continue
+                promotions.append((slot.gid, node))
+                if slot.selfish and selfish_opt:
+                    selfish_promoted.append(slot.gid)
+        self._check_recoverable(failed_set, promotions)
+
+        promoted_by_gid = dict(promotions)
+        for gid, node in promotions:
+            self._promote(gid, node, failed_set)
+            engine.master_node_of[gid] = node
+        stats.vertices_recovered += len(promotions)
+
+        # Surviving masters drop crashed replica locations; those that
+        # lost a mirror must restore their fault-tolerance level too.
+        lost_mirror_gids: list[int] = []
+        for node in survivors:
+            lg = engine.local_graphs[node]
+            for slot in lg.iter_masters():
+                meta = slot.meta
+                if meta is None:
+                    continue
+                for crashed in list(meta.replica_positions):
+                    if crashed in failed_set:
+                        del meta.replica_positions[crashed]
+                survived_mirrors = [n for n in meta.mirror_nodes
+                                    if n not in failed_set]
+                if len(survived_mirrors) < len(meta.mirror_nodes):
+                    lost_mirror_gids.append(slot.gid)
+                meta.mirror_nodes = survived_mirrors
+
+        # ---------------- Reloading: edges ----------------
+        net = engine.cluster.network
+        net.begin_step()
+        dfs_time = 0.0
+        edges_relinked = 0
+        if engine.is_edge_cut:
+            edges_relinked = self._relink_promoted_edge_cut(
+                promotions, failed_set)
+        else:
+            dfs_time, edges_relinked = self._reload_vertex_cut_edges(
+                failed, survivors, promoted_by_gid)
+        stats.edges_recovered = edges_relinked
+
+        # Location updates: every promoted master informs its surviving
+        # copies of the new master node (control traffic).
+        for gid, node in promotions:
+            meta = engine.local_graphs[node].slot_of(gid).meta
+            for replica_node in sorted(meta.replica_positions):
+                slot = engine.local_graphs[replica_node].slot_of(gid)
+                slot.master_node = node
+                if slot.meta is not None:
+                    slot.meta.master_node = node
+                    slot.meta.master_position = meta.master_position
+                net.send(Message(MessageKind.CONTROL, node, replica_node,
+                                 ("new-master", gid, node),
+                                 BYTES_PER_VID + 4))
+        for node in survivors:
+            net.deliver(node)
+
+        # Restore the fault-tolerance level (new FT replicas + mirrors).
+        created, ft_bytes = common.restore_ft_level(
+            engine, sorted(set(promoted_by_gid) | set(lost_mirror_gids)),
+            "migration-ft")
+        stats.recovery_bytes += ft_bytes
+
+        scale = model.data_scale
+        reload_times = []
+        for node in survivors:
+            scan = scan_cost[node] * model.per_vertex_scan_s * scale
+            comm = pairwise_comm_time(model, net.step_bytes, net.step_msgs,
+                                      node)
+            reload_times.append(scan + comm)
+        # Migration needs several cluster-wide coordination rounds:
+        # promotion, replica creation, location updates, FT restoration
+        # (Section 6.4: "multiple rounds of message exchanges").
+        rounds = 4
+        stats.reload_s = (max(max(reload_times, default=0.0), dfs_time)
+                          + rounds * model.recovery_round_s)
+        stats.recovery_messages = sum(
+            sum(by_dst.values()) for by_dst in net.step_msgs.values())
+        stats.recovery_bytes += sum(
+            sum(by_dst.values()) for by_dst in net.step_bytes.values())
+
+        # ---------------- Reconstruction ----------------
+        stats.reconstruct_s = (
+            len(promotions) * model.per_vertex_reconstruct_s
+            + edges_relinked * model.per_edge_compute_s
+            + created * model.per_vertex_reconstruct_s
+        ) * scale / max(1, len(survivors))
+
+        # ---------------- Replay ----------------
+        target_gids = set(promoted_by_gid)
+        replay_ops = common.replay_activations(engine, survivors,
+                                               target_gids)
+        replay_edges = common.recompute_selfish_masters(
+            engine, sorted(selfish_promoted))
+        stats.replay_s = ((replay_ops * model.per_vertex_reconstruct_s
+                           + replay_edges * model.per_edge_compute_s)
+                          * scale / max(1, len(survivors)))
+        return RecoveryOutcome(
+            stats=stats,
+            master_of_updates={gid: node for gid, node in promotions})
+
+    # ------------------------------------------------------------------
+    # promotion
+    # ------------------------------------------------------------------
+
+    def _check_recoverable(self, failed_set: set[int],
+                           promotions: list[tuple[int, int]]) -> None:
+        engine = self.engine
+        promoted = {gid for gid, _ in promotions}
+        lost = []
+        for gid, node in enumerate(engine.master_node_of):
+            if node in failed_set and gid not in promoted:
+                lost.append(gid)
+        if lost:
+            raise UnrecoverableFailureError(
+                f"{len(lost)} vertices lost every copy "
+                f"(e.g. vertex {lost[0]}); ft_level "
+                f"{engine.job.ft.ft_level} cannot cover nodes "
+                f"{sorted(failed_set)}", lost_vertices=len(lost))
+
+    def _promote(self, gid: int, node: int, failed_set: set[int]) -> None:
+        """Turn a surviving mirror into the vertex's master."""
+        engine = self.engine
+        lg = engine.local_graphs[node]
+        slot = lg.slot_of(gid)
+        meta = slot.meta
+        slot.role = Role.MASTER
+        slot.mirror_id = -1
+        # The promoted copy's dynamic state: value is the synced one;
+        # activity starts from the master's self-sustained flag and the
+        # replay phase adds back neighbor activations.  The surviving
+        # replicas' gather flags reflect the old master's last
+        # broadcast, which the mirror's own flag also carried.
+        old_gather_flag = slot.active
+        lg.set_active(slot, slot.mirror_self_active)
+        slot.replicas_known_active = old_gather_flag
+        position = lg.position_of(gid)
+        # Rewrite the metadata for the new location.
+        new_positions = {n: p for n, p in meta.replica_positions.items()
+                         if n not in failed_set and n != node}
+        old_master = meta.master_node
+        meta.replica_positions = new_positions
+        meta.mirror_nodes = [n for n in meta.mirror_nodes
+                             if n not in failed_set and n != node]
+        meta.master_node = node
+        meta.master_position = position
+        slot.master_node = node
+        if old_master in failed_set:
+            pass  # the old master's slot died with its node
+
+    # ------------------------------------------------------------------
+    # edge recovery
+    # ------------------------------------------------------------------
+
+    def _relink_promoted_edge_cut(self, promotions: list[tuple[int, int]],
+                                  failed_set: set[int]) -> int:
+        """Rebuild promoted masters' local in-edges from full state.
+
+        Sources without a local copy get new replicas whose state is
+        fetched from their masters (counted as recovery traffic).
+        """
+        engine = self.engine
+        linked = 0
+        for gid, node in promotions:
+            lg = engine.local_graphs[node]
+            slot = lg.slot_of(gid)
+            if slot.full_edges is None:
+                raise UnrecoverableFailureError(
+                    f"mirror of vertex {gid} lacks the full edge copy")
+            position = lg.position_of(gid)
+            slot.in_edges = []
+            for src_gid, _old_pos, weight in slot.full_edges:
+                if src_gid in lg.index_of:
+                    src_pos = lg.index_of[src_gid]
+                else:
+                    src_pos = self._create_replica(src_gid, node)
+                lg.slots[src_pos].out_edges.append(position)
+                slot.in_edges.append((src_pos, weight))
+                linked += 1
+            # The full-state copy now describes the new local layout.
+            slot.full_edges = [(lg.slots[p].gid, p, w)
+                               for p, w in slot.in_edges]
+        return linked
+
+    def _create_replica(self, gid: int, node: int) -> int:
+        """Create a replica of ``gid`` on ``node``, fetched from its master.
+
+        Used when migrated edges land on a node with no local copy of
+        an endpoint ("some new replicas are necessary to retain local
+        access semantics", Section 5.2.1).
+        """
+        engine = self.engine
+        master_node = engine.master_node_of[gid]
+        master_lg = engine.local_graphs[master_node]
+        master_slot = master_lg.slot_of(gid)
+        lg = engine.local_graphs[node]
+        position = len(lg.slots)
+        rv = common.snapshot_replica_state(master_lg, master_slot, node,
+                                           position, edge_cut=False)
+        rv.full_edges = None
+        rv.role = Role.REPLICA.value
+        rv.mirror_id = -1
+        rv.replica_positions = None
+        rv.mirror_nodes = None
+        slot = common.place_recovered_vertex(
+            lg, rv, common.last_committed_iteration(engine))
+        master_slot.meta.replica_positions[node] = position
+        net = engine.cluster.network
+        nbytes = rv.nbytes(engine.program.value_nbytes(rv.value))
+        net.send(Message(MessageKind.RECOVERY, master_node, node,
+                         ("replica-state", gid), nbytes))
+        # Keep mirrors' metadata copies fresh.
+        for mirror_node in master_slot.meta.mirror_nodes:
+            mirror = engine.local_graphs[mirror_node].slot_of(gid)
+            if mirror.meta is not None:
+                mirror.meta.replica_positions[node] = position
+        return position
+
+    def _reload_vertex_cut_edges(self, failed: tuple[int, ...],
+                                 survivors: list[int],
+                                 promoted_by_gid: dict[int, int]
+                                 ) -> tuple[float, int]:
+        """Each survivor reloads its pre-assigned edge-ckpt files.
+
+        Returns ``(max parallel DFS read time, edges relinked)``.
+        """
+        engine = self.engine
+        assert engine.edge_ckpt is not None
+        model = engine.model
+        dfs_time = 0.0
+        linked = 0
+        from repro.ft.edge_ckpt import dedupe_edge_records
+        for receiver in survivors:
+            records: list[EdgeRecord] = []
+            nbytes = 0
+            reads = 0
+            for crashed in failed:
+                part = engine.edge_ckpt.read_file(crashed, receiver)
+                records.extend(part)
+                nbytes += engine.edge_ckpt.file_nbytes(crashed, receiver)
+                reads += 1
+            records = dedupe_edge_records(records)
+            if records:
+                linked += self._apply_edge_records(receiver, records)
+            dfs_time = max(dfs_time, storage_read_time(
+                model, nbytes, max(1, reads), in_memory=False))
+        # Orphan edges: files whose designated receiver also crashed are
+        # re-read by the lowest survivor (rare; multi-failure case).
+        for crashed in failed:
+            for other in failed:
+                if other == crashed:
+                    continue
+                orphans = dedupe_edge_records(
+                    engine.edge_ckpt.read_file(crashed, other))
+                if orphans:
+                    receiver = survivors[0]
+                    linked += self._apply_edge_records(receiver, orphans,
+                                                       allow_fetch=True)
+        return dfs_time, linked
+
+    def _apply_edge_records(self, node: int, records: list[EdgeRecord],
+                            allow_fetch: bool = True) -> int:
+        """Attach reloaded edges to local slots, creating missing copies."""
+        engine = self.engine
+        lg = engine.local_graphs[node]
+        linked = 0
+        for record in records:
+            if record.dst in lg.index_of:
+                dst_pos = lg.index_of[record.dst]
+            elif allow_fetch:
+                dst_pos = self._create_replica(record.dst, node)
+            else:
+                raise UnrecoverableFailureError(
+                    f"edge target {record.dst} missing on node {node}")
+            if record.src in lg.index_of:
+                src_pos = lg.index_of[record.src]
+            else:
+                src_pos = self._create_replica(record.src, node)
+            lg.slots[dst_pos].in_edges.append((src_pos, record.weight))
+            lg.slots[src_pos].out_edges.append(dst_pos)
+            linked += 1
+        if records and engine.edge_ckpt is not None:
+            # Future failures of this node must also recover the edges
+            # it just absorbed: append them to its own edge-ckpt files,
+            # overlapped with resumed execution (bytes counted, no
+            # normal-execution time charged).
+            by_receiver: dict[int, list[EdgeRecord]] = defaultdict(list)
+            for record in records:
+                receiver = engine._edge_receiver(record.dst, node)
+                by_receiver[receiver].append(record)
+            for receiver, recs in sorted(by_receiver.items()):
+                for record in recs:
+                    engine.edge_ckpt.log_edge_update(node, receiver, record)
+        return linked

@@ -1,0 +1,22 @@
+"""Graph substrate: immutable CSR graphs, builders, generators, I/O."""
+
+from repro.graph.graph import Graph
+from repro.graph.builder import GraphBuilder
+from repro.graph.analysis import (
+    GraphStats,
+    degree_stats,
+    selfish_vertices,
+    vertices_without_replicas,
+)
+from repro.graph import generators, io
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "GraphStats",
+    "degree_stats",
+    "selfish_vertices",
+    "vertices_without_replicas",
+    "generators",
+    "io",
+]

@@ -1,0 +1,77 @@
+"""Graph census helpers backing Fig. 3's replica analysis.
+
+The paper distinguishes two reasons a vertex has no computation replica
+under edge-cut (Section 3.1):
+
+* **selfish** vertices have no out-edges at all, so no other node ever
+  consumes their value (vertex 7 in the paper's Fig. 1);
+* **internal** (normal) vertices have out-edges, but every out-neighbor
+  is co-located, so no replica was needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Degree summary for one graph."""
+
+    num_vertices: int
+    num_edges: int
+    avg_out_degree: float
+    max_out_degree: int
+    max_in_degree: int
+    num_selfish: int
+
+    @property
+    def selfish_fraction(self) -> float:
+        if self.num_vertices == 0:
+            return 0.0
+        return self.num_selfish / self.num_vertices
+
+
+def degree_stats(graph: Graph) -> GraphStats:
+    """Compute the summary used by dataset catalog listings."""
+    out_deg = graph.out_degrees()
+    in_deg = graph.in_degrees()
+    n = graph.num_vertices
+    return GraphStats(
+        num_vertices=n,
+        num_edges=graph.num_edges,
+        avg_out_degree=float(out_deg.mean()) if n else 0.0,
+        max_out_degree=int(out_deg.max()) if n else 0,
+        max_in_degree=int(in_deg.max()) if n else 0,
+        num_selfish=int((out_deg == 0).sum()),
+    )
+
+
+def selfish_vertices(graph: Graph) -> np.ndarray:
+    """Vertex ids with zero out-degree (value has no consumer)."""
+    return np.flatnonzero(graph.out_degrees() == 0)
+
+
+def vertices_without_replicas(graph: Graph,
+                              master_of: np.ndarray) -> tuple[np.ndarray,
+                                                              np.ndarray]:
+    """Split replica-less vertices into (selfish, normal) id arrays.
+
+    ``master_of[v]`` is the node that owns vertex ``v`` under an
+    edge-cut.  A vertex has a replica iff at least one out-neighbor
+    lives on a different node (that node materialises a local copy to
+    read from).
+    """
+    master_of = np.asarray(master_of)
+    out_deg = graph.out_degrees()
+    selfish_mask = out_deg == 0
+    has_replica = np.zeros(graph.num_vertices, dtype=bool)
+    src, dst = graph.sources, graph.targets
+    remote = master_of[src] != master_of[dst]
+    has_replica[src[remote]] = True
+    normal_mask = (~selfish_mask) & (~has_replica)
+    return np.flatnonzero(selfish_mask), np.flatnonzero(normal_mask)

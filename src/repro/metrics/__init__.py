@@ -1,0 +1,15 @@
+"""Run reports and comparison helpers used by the benchmark harness."""
+
+from repro.metrics.report import (
+    OverheadReport,
+    compare_overhead,
+    message_overhead,
+    total_cluster_memory,
+)
+
+__all__ = [
+    "OverheadReport",
+    "compare_overhead",
+    "message_overhead",
+    "total_cluster_memory",
+]

@@ -1,0 +1,54 @@
+"""Comparison reports backing the paper's overhead figures.
+
+The central quantity is *runtime overhead over BASE* (Figs. 7, 10b,
+11a, 13, 14b, 15a): the relative slowdown of a fault-tolerant
+configuration against the same job without fault tolerance, measured on
+simulated execution time excluding recovery events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.engine import RunResult
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """One FT configuration compared against its BASE run."""
+
+    label: str
+    base_time_s: float
+    ft_time_s: float
+
+    @property
+    def overhead(self) -> float:
+        """Relative slowdown, e.g. 0.02 = 2 percent."""
+        if self.base_time_s == 0:
+            return 0.0
+        return self.ft_time_s / self.base_time_s - 1.0
+
+
+def execution_time(result: RunResult) -> float:
+    """Normal-execution simulated time (checkpoints included, recovery
+    excluded): the quantity the overhead figures compare."""
+    return sum(s.sim_time_s for s in result.iteration_stats)
+
+
+def compare_overhead(label: str, base: RunResult,
+                     ft: RunResult) -> OverheadReport:
+    return OverheadReport(label=label,
+                          base_time_s=execution_time(base),
+                          ft_time_s=execution_time(ft))
+
+
+def message_overhead(base: RunResult, ft: RunResult) -> float:
+    """Extra messages of an FT run relative to BASE (Fig. 8b)."""
+    if base.total_messages == 0:
+        return 0.0
+    return ft.total_messages / base.total_messages - 1.0
+
+
+def total_cluster_memory(engine) -> int:
+    """Sum of per-node resident graph bytes (Tables 3 and 7)."""
+    return sum(engine.memory_report().values())

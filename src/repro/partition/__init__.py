@@ -1,0 +1,35 @@
+"""Graph partitioning: edge-cut and vertex-cut strategy implementations."""
+
+from repro.partition.base import (
+    EdgeCutPartitioning,
+    VertexCutPartitioning,
+    make_partitioner,
+)
+from repro.partition.hash_edge_cut import hash_edge_cut
+from repro.partition.fennel import fennel_edge_cut
+from repro.partition.random_vertex_cut import random_vertex_cut
+from repro.partition.grid_vertex_cut import grid_vertex_cut
+from repro.partition.hybrid_cut import hybrid_cut
+from repro.partition.metrics import (
+    PartitionReport,
+    edge_balance,
+    replication_factor,
+    report,
+    vertex_balance,
+)
+
+__all__ = [
+    "EdgeCutPartitioning",
+    "VertexCutPartitioning",
+    "make_partitioner",
+    "hash_edge_cut",
+    "fennel_edge_cut",
+    "random_vertex_cut",
+    "grid_vertex_cut",
+    "hybrid_cut",
+    "PartitionReport",
+    "replication_factor",
+    "edge_balance",
+    "vertex_balance",
+    "report",
+]

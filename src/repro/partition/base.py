@@ -1,0 +1,141 @@
+"""Partitioning result types shared by every strategy.
+
+An **edge-cut** (Section 2.1) assigns each *vertex* to one node; the
+master keeps all of its edges locally and vertices are replicated onto
+nodes that hold edges pointing at them.  A **vertex-cut** assigns each
+*edge* to one node; vertices are replicated onto every node holding one
+of their edges and one copy is designated master.
+
+Both types carry enough to rebuild replica sets deterministically, and
+both validate their own consistency (invariant P1 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.graph.graph import Graph
+from repro.utils.hashing import hash_to_node
+
+
+@dataclass
+class EdgeCutPartitioning:
+    """Vertex -> node assignment (p-way edge-cut)."""
+
+    num_nodes: int
+    #: ``master_of[v]`` is the node owning vertex ``v`` and all its edges.
+    master_of: np.ndarray
+    strategy: str = "edge-cut"
+
+    @property
+    def kind(self) -> str:
+        return "edge-cut"
+
+    def validate(self, graph: Graph) -> None:
+        master_of = np.asarray(self.master_of)
+        if master_of.shape != (graph.num_vertices,):
+            raise PartitionError(
+                f"master_of has shape {master_of.shape}, expected "
+                f"({graph.num_vertices},)")
+        if graph.num_vertices and (master_of.min() < 0
+                                   or master_of.max() >= self.num_nodes):
+            raise PartitionError("vertex assigned outside [0, num_nodes)")
+
+    def masters_on(self, node: int) -> np.ndarray:
+        return np.flatnonzero(np.asarray(self.master_of) == node)
+
+
+@dataclass
+class VertexCutPartitioning:
+    """Edge -> node assignment (p-way vertex-cut)."""
+
+    num_nodes: int
+    #: ``edge_node[e]`` is the node owning edge id ``e`` (graph order).
+    edge_node: np.ndarray
+    #: ``master_of[v]`` is the node hosting the master copy of ``v``.
+    master_of: np.ndarray
+    strategy: str = "vertex-cut"
+
+    @property
+    def kind(self) -> str:
+        return "vertex-cut"
+
+    def validate(self, graph: Graph) -> None:
+        edge_node = np.asarray(self.edge_node)
+        master_of = np.asarray(self.master_of)
+        if edge_node.shape != (graph.num_edges,):
+            raise PartitionError(
+                f"edge_node has shape {edge_node.shape}, expected "
+                f"({graph.num_edges},)")
+        if master_of.shape != (graph.num_vertices,):
+            raise PartitionError("master_of length mismatch")
+        if graph.num_edges and (edge_node.min() < 0
+                                or edge_node.max() >= self.num_nodes):
+            raise PartitionError("edge assigned outside [0, num_nodes)")
+        if graph.num_vertices and (master_of.min() < 0
+                                   or master_of.max() >= self.num_nodes):
+            raise PartitionError("master assigned outside [0, num_nodes)")
+
+    def edges_on(self, node: int) -> np.ndarray:
+        return np.flatnonzero(np.asarray(self.edge_node) == node)
+
+
+def assign_masters_for_vertex_cut(graph: Graph, edge_node: np.ndarray,
+                                  num_nodes: int,
+                                  seed: int = 0) -> np.ndarray:
+    """Pick a master node per vertex from the nodes hosting its edges.
+
+    The hash node is used when it already hosts one of the vertex's
+    edges (no extra replica needed); otherwise the hosting node chosen
+    deterministically by a stable per-vertex hash.  Isolated vertices
+    fall back to their hash node.
+    """
+    n = graph.num_vertices
+    edge_node = np.asarray(edge_node)
+    hosts: list[set[int]] = [set() for _ in range(n)]
+    src, dst = graph.sources, graph.targets
+    for eid in range(graph.num_edges):
+        node = int(edge_node[eid])
+        hosts[int(src[eid])].add(node)
+        hosts[int(dst[eid])].add(node)
+    master_of = np.empty(n, dtype=np.int64)
+    for v in range(n):
+        hashed = hash_to_node(v, num_nodes, salt=seed)
+        hosting = hosts[v]
+        if not hosting or hashed in hosting:
+            master_of[v] = hashed
+        else:
+            ordered = sorted(hosting,
+                             key=lambda node: (hash_to_node(
+                                 v * 1_000_003 + node, 1 << 30), node))
+            master_of[v] = ordered[0]
+    return master_of
+
+
+def make_partitioner(strategy):
+    """Resolve a :class:`~repro.config.PartitionStrategy` to a callable.
+
+    The callable signature is ``fn(graph, num_nodes, seed=0)`` returning
+    the matching partitioning type.
+    """
+    from repro.config import PartitionStrategy
+    from repro.partition.fennel import fennel_edge_cut
+    from repro.partition.grid_vertex_cut import grid_vertex_cut
+    from repro.partition.hash_edge_cut import hash_edge_cut
+    from repro.partition.hybrid_cut import hybrid_cut
+    from repro.partition.random_vertex_cut import random_vertex_cut
+
+    table = {
+        PartitionStrategy.HASH_EDGE_CUT: hash_edge_cut,
+        PartitionStrategy.FENNEL_EDGE_CUT: fennel_edge_cut,
+        PartitionStrategy.RANDOM_VERTEX_CUT: random_vertex_cut,
+        PartitionStrategy.GRID_VERTEX_CUT: grid_vertex_cut,
+        PartitionStrategy.HYBRID_CUT: hybrid_cut,
+    }
+    try:
+        return table[strategy]
+    except KeyError:
+        raise PartitionError(f"unknown strategy: {strategy}") from None

@@ -1,0 +1,79 @@
+"""Fennel streaming heuristic edge-cut [20] (Section 6.6).
+
+Vertices arrive in a stream; each is greedily placed on the node
+maximising (neighbors already there) minus a superlinear load penalty:
+
+    score(v, i) = |N(v) cap S_i| - gamma * nu * |S_i|^(gamma-1)
+
+with the paper-standard gamma = 1.5 and nu = sqrt(p) * m / n^1.5.
+A hard balance slack keeps any node below ``balance_slack * n/p``
+vertices.  Compared with hash partitioning this slashes the replication
+factor (the paper reports 1.61 / 3.84 / 5.09 for GWeb / LJournal /
+Wiki on 50 nodes, Fig. 10a), at the cost of more replica-less vertices
+needing FT replicas.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.graph.graph import Graph
+from repro.partition.base import EdgeCutPartitioning
+from repro.utils.rng import SeededRng
+
+
+def fennel_edge_cut(graph: Graph, num_nodes: int, seed: int = 0,
+                    gamma: float = 1.5, balance_slack: float = 1.1,
+                    passes: int = 3) -> EdgeCutPartitioning:
+    """Fennel streaming partitioning with restreaming refinement.
+
+    The first pass streams vertices in a random order; subsequent
+    passes restream with full knowledge of the previous placement
+    (each vertex is pulled out, rescored and reinserted), which is the
+    standard way to close most of the gap to offline partitioners.
+    """
+    if num_nodes < 1:
+        raise PartitionError("num_nodes must be >= 1")
+    if passes < 1:
+        raise PartitionError("passes must be >= 1")
+    n = graph.num_vertices
+    m = graph.num_edges
+    master_of = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return EdgeCutPartitioning(num_nodes, master_of, strategy="fennel")
+    nu = (num_nodes ** 0.5) * m / max(n ** gamma, 1.0)
+    capacity = balance_slack * n / num_nodes + 1
+    loads = np.zeros(num_nodes, dtype=np.int64)
+    rng = SeededRng(seed, "fennel-order")
+    order = list(range(n))
+    rng.shuffle(order)
+    for pass_no in range(passes):
+        moved = 0
+        for v in order:
+            current = master_of[v]
+            if current >= 0:
+                loads[current] -= 1
+            neighbors = np.concatenate([graph.out_neighbors(v),
+                                        graph.in_neighbors(v)])
+            placed = master_of[neighbors]
+            placed = placed[placed >= 0]
+            gain = np.zeros(num_nodes, dtype=np.float64)
+            if placed.size:
+                counts = np.bincount(placed, minlength=num_nodes)
+                gain += counts
+            penalty = gamma * nu * np.power(loads.astype(np.float64),
+                                            gamma - 1.0)
+            score = gain - penalty
+            score[loads >= capacity] = -np.inf
+            best = int(np.argmax(score))
+            if best != current:
+                moved += 1
+            master_of[v] = best
+            loads[best] += 1
+        if pass_no > 0 and moved == 0:
+            break  # converged
+    part = EdgeCutPartitioning(num_nodes=num_nodes, master_of=master_of,
+                               strategy="fennel")
+    part.validate(graph)
+    return part

@@ -1,0 +1,23 @@
+"""Small shared utilities: stable hashing, seeded RNG streams, sizing."""
+
+from repro.utils.hashing import stable_hash, hash_to_node
+from repro.utils.rng import SeededRng, derive_seed
+from repro.utils.sizing import (
+    BYTES_PER_EDGE,
+    BYTES_PER_MSG_HEADER,
+    BYTES_PER_VALUE,
+    BYTES_PER_VID,
+    sizeof_value,
+)
+
+__all__ = [
+    "stable_hash",
+    "hash_to_node",
+    "SeededRng",
+    "derive_seed",
+    "BYTES_PER_EDGE",
+    "BYTES_PER_MSG_HEADER",
+    "BYTES_PER_VALUE",
+    "BYTES_PER_VID",
+    "sizeof_value",
+]

@@ -1,0 +1,36 @@
+"""Byte-size accounting for messages, vertices and edges.
+
+The simulated cluster never serialises real byte buffers for ordinary
+sync messages (that would only burn CPU); instead each message type
+reports its wire size from these constants, mirroring the compact binary
+encodings used by Cyclops/PowerLyra (8-byte vertex ids, 8-byte doubles,
+adjacency as id arrays).  The persistent store *does* keep real payload
+objects so recovery code paths are genuinely exercised.
+"""
+
+from __future__ import annotations
+
+#: Bytes for one vertex identifier on the wire (int64).
+BYTES_PER_VID = 8
+
+#: Bytes for one scalar vertex value (double).  Vector-valued algorithms
+#: (e.g. ALS latent factors) multiply this by their dimension via
+#: :func:`sizeof_value`.
+BYTES_PER_VALUE = 8
+
+#: Bytes for one edge record: (source vid, target vid, weight).
+BYTES_PER_EDGE = 2 * BYTES_PER_VID + 8
+
+#: Fixed per-message framing overhead (type tag, lengths, checksum).
+BYTES_PER_MSG_HEADER = 16
+
+
+def sizeof_value(value: object) -> int:
+    """Wire size in bytes of one vertex value.
+
+    Scalars count as one 8-byte slot; tuples/lists (e.g. ALS latent
+    vectors, community label pairs) count one slot per element.
+    """
+    if isinstance(value, (tuple, list)):
+        return max(1, len(value)) * BYTES_PER_VALUE
+    return BYTES_PER_VALUE

@@ -1,0 +1,181 @@
+"""Algorithm unit tests: program hooks plus small end-to-end runs."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    ALGORITHMS,
+    AlternatingLeastSquares,
+    CommunityDetection,
+    ConnectedComponents,
+    PageRank,
+    SingleSourceShortestPath,
+)
+from repro.api import make_engine, run_job
+from repro.engine.vertex_program import ApplyContext, VertexView
+from repro.graph import generators
+
+CTX = ApplyContext(iteration=0, num_vertices=10, num_edges=20)
+
+
+def view(vid=0, value=1.0, out_degree=2, in_degree=1):
+    return VertexView(vid=vid, value=value, out_degree=out_degree,
+                      in_degree=in_degree)
+
+
+class TestPageRankUnit:
+    def test_gather_divides_by_out_degree(self):
+        pr = PageRank()
+        acc = pr.gather(0.0, view(value=2.0, out_degree=4), 1.0, 1)
+        assert acc == pytest.approx(0.5)
+
+    def test_dangling_source_ignored(self):
+        pr = PageRank()
+        acc = pr.gather(0.0, view(value=2.0, out_degree=0), 1.0, 1)
+        assert acc == 0.0
+
+    def test_apply_damping(self):
+        pr = PageRank(damping=0.85)
+        assert pr.apply(0, 1.0, 1.0, CTX) == pytest.approx(1.0)
+        assert pr.apply(0, 1.0, 0.0, CTX) == pytest.approx(0.15)
+        assert pr.apply(0, 1.0, None, CTX) == pytest.approx(0.15)
+
+    def test_invalid_damping(self):
+        with pytest.raises(ValueError):
+            PageRank(damping=1.5)
+
+    def test_history_free(self):
+        assert PageRank.history_free
+
+
+class TestSsspUnit:
+    def test_gather_min(self):
+        sssp = SingleSourceShortestPath()
+        acc = sssp.gather(math.inf, view(value=3.0), 2.0, 1)
+        acc = sssp.gather(acc, view(value=1.0), 1.5, 1)
+        assert acc == pytest.approx(2.5)
+
+    def test_gather_sum_handles_none(self):
+        sssp = SingleSourceShortestPath()
+        assert sssp.gather_sum(None, 4.0) == 4.0
+        assert sssp.gather_sum(2.0, None) == 2.0
+        assert sssp.gather_sum(2.0, 4.0) == 2.0
+
+    def test_only_source_initially_active(self):
+        sssp = SingleSourceShortestPath(source=3)
+        assert sssp.is_initially_active(3)
+        assert not sssp.is_initially_active(0)
+
+    def test_activates_only_on_improvement(self):
+        sssp = SingleSourceShortestPath()
+        ctx = ApplyContext(iteration=5, num_vertices=10, num_edges=20)
+        assert sssp.activates_neighbors(1, 5.0, 4.0, ctx)
+        assert not sssp.activates_neighbors(1, 4.0, 4.0, ctx)
+
+    def test_negative_source_rejected(self):
+        with pytest.raises(ValueError):
+            SingleSourceShortestPath(source=-1)
+
+
+class TestCommunityUnit:
+    def test_majority_label_wins(self):
+        cd = CommunityDetection()
+        acc = None
+        for label in (5, 5, 9):
+            acc = cd.gather(acc, view(value=label), 1.0, 1)
+        assert cd.apply(1, 1, acc, CTX) == 5
+
+    def test_tie_breaks_to_smaller_label(self):
+        cd = CommunityDetection()
+        acc = {3: 2, 7: 2}
+        assert cd.apply(1, 7, acc, CTX) == 3
+
+    def test_current_label_must_be_beaten(self):
+        cd = CommunityDetection()
+        acc = {3: 2, 1: 2}
+        # own label 1 ties the best count and is smaller: keep it
+        assert cd.apply(1, 1, acc, CTX) == 1
+
+    def test_gather_sum_merges_counts(self):
+        cd = CommunityDetection()
+        merged = cd.gather_sum({1: 2}, {1: 1, 2: 5})
+        assert merged == {1: 3, 2: 5}
+
+    def test_empty_gather_keeps_label(self):
+        cd = CommunityDetection()
+        assert cd.apply(4, 4, None, CTX) == 4
+
+    def test_converges_on_communities(self):
+        g = generators.community_graph(3, 25, p_in=0.3, p_out_edges=1,
+                                       seed=5)
+        result = run_job(g, "cd", num_nodes=4, max_iterations=30)
+        labels = [result.values[v] for v in range(g.num_vertices)]
+        # Far fewer labels than vertices.
+        assert len(set(labels)) < g.num_vertices / 3
+
+
+class TestAlsUnit:
+    def test_sides_alternate(self):
+        als = AlternatingLeastSquares(num_users=5, rank=2)
+        even = ApplyContext(iteration=0, num_vertices=10, num_edges=0)
+        odd = ApplyContext(iteration=1, num_vertices=10, num_edges=0)
+        assert als.participates(0, even) and not als.participates(7, even)
+        assert als.participates(7, odd) and not als.participates(0, odd)
+
+    def test_initial_values_deterministic(self):
+        als = AlternatingLeastSquares(num_users=5, rank=3)
+        assert als.initial_value(2, CTX) == als.initial_value(2, CTX)
+        assert len(als.initial_value(2, CTX)) == 3
+
+    def test_apply_solves_normal_equations(self):
+        als = AlternatingLeastSquares(num_users=1, rank=1,
+                                      regularization=0.0)
+        # One neighbor with latent x=2, rating 6: w = 6*2 / (2*2) = 3.
+        acc = als.gather(None, view(value=(2.0,)), 6.0, 0)
+        assert als.apply(0, (0.0,), acc, CTX)[0] == pytest.approx(3.0)
+
+    def test_rmse_decreases_with_training(self):
+        g = generators.bipartite(120, 30, edges_per_user=6, seed=9)
+        als = AlternatingLeastSquares(num_users=120, rank=3)
+        short = make_engine(g, AlternatingLeastSquares(120, rank=3),
+                            num_nodes=4, max_iterations=2).run()
+        long = make_engine(g, AlternatingLeastSquares(120, rank=3),
+                           num_nodes=4, max_iterations=8).run()
+        assert als.rmse(g, long.values) < als.rmse(g, short.values)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            AlternatingLeastSquares(num_users=0)
+        with pytest.raises(ValueError):
+            AlternatingLeastSquares(num_users=1, rank=0)
+
+    def test_message_sizes_scale_with_rank(self):
+        als = AlternatingLeastSquares(num_users=5, rank=4)
+        assert als.value_nbytes((0.0,) * 4) == 32
+        assert als.acc_nbytes(None) == (16 + 4) * 8
+
+
+class TestConnectedComponentsRun:
+    def test_components(self, sym_two_components):
+        result = run_job(sym_two_components, "cc", num_nodes=3,
+                         max_iterations=20)
+        values = result.values
+        assert values[0] == values[1] == values[2] == values[3] == 0
+        assert values[5] == values[6] == values[7] == 5
+        assert values[8] == 8  # isolated keeps own id
+        assert result.halted_early
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(ALGORITHMS) == {"pagerank", "sssp", "als", "cd", "cc",
+                                   "degree"}
+
+    def test_cc_on_vertex_cut(self, sym_two_components):
+        result = run_job(sym_two_components, "cc", num_nodes=3,
+                         max_iterations=20, partition="random_vertex_cut")
+        assert result.values[3] == 0

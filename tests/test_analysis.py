@@ -1,0 +1,68 @@
+"""Census tests backing the Fig. 3 analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph import generators
+from repro.graph.analysis import (
+    degree_stats,
+    selfish_vertices,
+    vertices_without_replicas,
+)
+from repro.graph.builder import GraphBuilder
+from repro.partition.hash_edge_cut import hash_edge_cut
+
+
+class TestDegreeStats:
+    def test_star(self):
+        g = generators.star(5, inward=True)
+        stats = degree_stats(g)
+        assert stats.num_vertices == 6
+        assert stats.max_in_degree == 5
+        assert stats.num_selfish == 1  # the hub has no out-edges
+        assert stats.selfish_fraction == 1 / 6
+
+    def test_empty_graph(self):
+        g = GraphBuilder(num_vertices=0).build()
+        stats = degree_stats(g)
+        assert stats.num_vertices == 0
+        assert stats.selfish_fraction == 0.0
+
+
+class TestSelfish:
+    def test_selfish_are_sinks(self):
+        g = generators.power_law(400, alpha=2.0, seed=1, selfish_frac=0.2)
+        for v in selfish_vertices(g):
+            assert g.out_degree(int(v)) == 0
+
+
+class TestReplicaCensus:
+    def test_split_classes(self):
+        # 0 -> 1 on one node; 2 isolated selfish; all on node 0 except 1.
+        builder = GraphBuilder()
+        builder.add_edge(0, 1)
+        builder.ensure_vertex(2)
+        g = builder.build()
+        master_of = np.array([0, 0, 0])
+        selfish, normal = vertices_without_replicas(g, master_of)
+        # vertex 0 has out-edge to co-located 1: no replica, normal class
+        assert 0 in normal
+        # vertices 1, 2 have no out-edges: selfish class
+        assert set(selfish.tolist()) == {1, 2}
+
+    def test_remote_edge_creates_replica(self):
+        builder = GraphBuilder()
+        builder.add_edge(0, 1)
+        g = builder.build()
+        master_of = np.array([0, 1])
+        selfish, normal = vertices_without_replicas(g, master_of)
+        assert 0 not in normal.tolist()  # 0 is replicated on node 1
+
+    def test_census_matches_partitioning(self, small_powerlaw):
+        g = small_powerlaw
+        part = hash_edge_cut(g, 8)
+        selfish, normal = vertices_without_replicas(g, part.master_of)
+        assert len(set(selfish.tolist()) & set(normal.tolist())) == 0
+        # All selfish vertices are replica-less by definition.
+        assert len(selfish) == int((g.out_degrees() == 0).sum())

@@ -1,0 +1,129 @@
+"""Cluster substrate tests: nodes, failure injection, standby takeover."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import Node, NodeState
+from repro.config import ClusterConfig
+from repro.errors import (
+    NoStandbyNodeError,
+    NodeCrashedError,
+    UnknownNodeError,
+)
+
+
+def small_cluster(n=4, standby=1):
+    return Cluster(ClusterConfig(num_nodes=n, num_standby=standby))
+
+
+class TestNode:
+    def test_initial_state(self):
+        node = Node(3)
+        assert node.is_alive and not node.is_crashed
+
+    def test_crash_drops_local_state(self):
+        node = Node(0)
+        node.local = {"x": 1}
+        node.crash()
+        assert node.is_crashed
+        assert node.local is None
+
+    def test_crash_idempotent(self):
+        node = Node(0)
+        node.crash()
+        node.crash()
+        assert node.is_crashed
+
+    def test_check_alive_raises_after_crash(self):
+        node = Node(0)
+        node.crash()
+        with pytest.raises(NodeCrashedError):
+            node.check_alive("test")
+
+    def test_standby_activation(self):
+        node = Node(9, state=NodeState.STANDBY)
+        node.activate()
+        assert node.is_alive
+        assert node.incarnation == 1
+
+    def test_alive_node_cannot_activate(self):
+        node = Node(0)
+        with pytest.raises(NodeCrashedError):
+            node.activate()
+
+
+class TestCluster:
+    def test_layout(self):
+        cluster = small_cluster(4, 2)
+        assert cluster.alive_workers() == [0, 1, 2, 3]
+        assert cluster.standby_nodes() == [4, 5]
+        assert cluster.num_workers == 4
+
+    def test_crash_removes_from_workers(self):
+        cluster = small_cluster()
+        cluster.crash(2)
+        assert 2 not in cluster.alive_workers()
+        assert cluster.detector.newly_failed() == {2}
+
+    def test_crash_purges_messages(self):
+        from repro.cluster.network import Message, MessageKind
+        cluster = small_cluster()
+        cluster.network.send(Message(MessageKind.SYNC, 2, 1, "x", 8))
+        cluster.network.send(Message(MessageKind.SYNC, 0, 2, "y", 8))
+        cluster.crash(2)
+        # message from 2 purged; message to 2 purged
+        assert cluster.network.deliver(1) == []
+
+    def test_replace_node_keeps_logical_id(self):
+        cluster = small_cluster(4, 1)
+        cluster.crash(1)
+        fresh = cluster.replace_node(1)
+        assert fresh.node_id == 1
+        assert fresh.incarnation == 1
+        assert cluster.alive_workers() == [0, 1, 2, 3]
+        assert cluster.standby_nodes() == []
+
+    def test_replace_needs_crash(self):
+        cluster = small_cluster()
+        with pytest.raises(NoStandbyNodeError):
+            cluster.replace_node(1)
+
+    def test_replace_without_standby_fails(self):
+        cluster = small_cluster(4, 0)
+        cluster.crash(1)
+        with pytest.raises(NoStandbyNodeError):
+            cluster.replace_node(1)
+
+    def test_unknown_node(self):
+        cluster = small_cluster()
+        with pytest.raises(UnknownNodeError):
+            cluster.node(99)
+
+    def test_add_standby_grows_cluster(self):
+        cluster = small_cluster(4, 0)
+        nid = cluster.add_standby()
+        assert nid == 4
+        assert cluster.standby_nodes() == [4]
+
+
+class TestFailureDetector:
+    def test_detection_delay_matches_config(self):
+        cluster = Cluster(ClusterConfig(num_nodes=3,
+                                        heartbeat_interval_s=0.5,
+                                        heartbeat_misses=14))
+        assert cluster.detector.detection_delay_s == pytest.approx(7.0)
+
+    def test_edge_triggered(self):
+        cluster = small_cluster()
+        cluster.crash(0)
+        assert cluster.detector.newly_failed() == {0}
+        assert cluster.detector.newly_failed() == set()
+
+    def test_forget_rearms(self):
+        cluster = small_cluster()
+        cluster.crash(0)
+        cluster.detector.newly_failed()
+        cluster.detector.forget(0)
+        assert cluster.detector.newly_failed() == {0}

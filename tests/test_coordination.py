@@ -1,0 +1,76 @@
+"""Coordination service tests: barriers, membership, shared state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.coordination import CoordinationService
+from repro.errors import UnknownNodeError
+
+
+class TestMembership:
+    def test_register_deregister(self):
+        svc = CoordinationService()
+        svc.register(0)
+        svc.register(1)
+        assert svc.members == frozenset({0, 1})
+        svc.deregister(0)
+        assert svc.members == frozenset({1})
+
+    def test_deregister_unknown_raises(self):
+        svc = CoordinationService()
+        with pytest.raises(UnknownNodeError):
+            svc.deregister(7)
+
+
+class TestSharedState:
+    def test_put_get_delete(self):
+        svc = CoordinationService()
+        svc.put("iteration", 5)
+        assert svc.get("iteration") == 5
+        svc.delete("iteration")
+        assert svc.get("iteration", -1) == -1
+
+
+class TestBarrier:
+    def test_normal_barrier(self):
+        svc = CoordinationService()
+        for n in range(3):
+            svc.register(n)
+        result = svc.barrier(set())
+        assert not result.is_fail()
+        assert result.epoch == 1
+
+    def test_failure_reported_once(self):
+        svc = CoordinationService()
+        for n in range(3):
+            svc.register(n)
+        first = svc.barrier({1})
+        assert first.failed == (1,)
+        assert first.is_fail()
+        second = svc.barrier({1})
+        assert not second.is_fail()
+        assert svc.members == frozenset({0, 2})
+
+    def test_epoch_monotonic(self):
+        svc = CoordinationService()
+        svc.register(0)
+        epochs = [svc.barrier(set()).epoch for _ in range(4)]
+        assert epochs == [1, 2, 3, 4]
+
+    def test_rejoin_after_failure(self):
+        svc = CoordinationService()
+        svc.register(0)
+        svc.register(1)
+        svc.barrier({1})
+        svc.register(1)  # standby took over logical id 1
+        assert 1 in svc.members
+        result = svc.barrier(set())
+        assert not result.is_fail()
+
+    def test_multiple_simultaneous_failures(self):
+        svc = CoordinationService()
+        for n in range(5):
+            svc.register(n)
+        result = svc.barrier({3, 1})
+        assert result.failed == (1, 3)

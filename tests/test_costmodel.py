@@ -1,0 +1,115 @@
+"""Cost-model tests: clocks, accounting functions, data_scale."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.costmodel import (
+    DEFAULT_COST_MODEL,
+    CostModel,
+    NodeClocks,
+    barrier_max,
+    compute_time,
+    pairwise_comm_time,
+    storage_read_time,
+    storage_write_time,
+)
+from repro.errors import ConfigError
+
+
+class TestNodeClocks:
+    def test_advance_and_barrier(self):
+        clocks = NodeClocks(3)
+        clocks.advance(0, 1.0)
+        clocks.advance(1, 2.0)
+        post = clocks.barrier(DEFAULT_COST_MODEL)
+        assert post == pytest.approx(2.0 + DEFAULT_COST_MODEL.barrier_latency_s)
+        assert clocks.time_of(0) == post
+        assert clocks.time_of(2) == post
+
+    def test_barrier_subset(self):
+        clocks = NodeClocks(3)
+        clocks.advance(2, 10.0)
+        clocks.barrier(DEFAULT_COST_MODEL, participants=[0, 1])
+        assert clocks.time_of(0) < 1.0
+        assert clocks.time_of(2) == 10.0
+
+    def test_negative_advance_rejected(self):
+        clocks = NodeClocks(1)
+        with pytest.raises(ValueError):
+            clocks.advance(0, -1.0)
+
+    def test_add_node(self):
+        clocks = NodeClocks(2)
+        clocks.advance(0, 5.0)
+        idx = clocks.add_node(clocks.global_max())
+        assert idx == 2
+        assert clocks.time_of(2) == 5.0
+
+
+class TestComputeTime:
+    def test_scales_with_work_and_cores(self):
+        model = DEFAULT_COST_MODEL
+        one_core = compute_time(model, 1000, 100, 1)
+        four_core = compute_time(model, 1000, 100, 4)
+        assert one_core == pytest.approx(4 * four_core)
+
+    def test_data_scale_multiplies(self):
+        scaled = replace(DEFAULT_COST_MODEL, data_scale=100.0)
+        assert compute_time(scaled, 10, 10, 1) == pytest.approx(
+            100 * compute_time(DEFAULT_COST_MODEL, 10, 10, 1))
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            compute_time(DEFAULT_COST_MODEL, 1, 1, 0)
+
+
+class TestCommTime:
+    def test_max_of_directions(self):
+        model = DEFAULT_COST_MODEL
+        bytes_map = {0: {1: 1_000_000}, 1: {0: 10_000_000}}
+        msgs_map = {0: {1: 1}, 1: {0: 1}}
+        t0 = pairwise_comm_time(model, bytes_map, msgs_map, 0)
+        t1 = pairwise_comm_time(model, bytes_map, msgs_map, 1)
+        # node 1 sends 10 MB, node 0 receives 10 MB: both bounded by it
+        assert t0 == pytest.approx(t1, rel=0.2)
+        assert t0 > 10_000_000 / model.network_bandwidth_bps * 0.99
+
+    def test_idle_node_free(self):
+        t = pairwise_comm_time(DEFAULT_COST_MODEL, {}, {}, 3)
+        assert t == 0.0
+
+
+class TestStorageTime:
+    def test_write_dominated_by_latency_when_small(self):
+        model = DEFAULT_COST_MODEL
+        t = storage_write_time(model, 100, 1, in_memory=False)
+        assert t == pytest.approx(model.dfs_op_latency_s, rel=0.01)
+
+    def test_in_memory_faster(self):
+        model = DEFAULT_COST_MODEL
+        slow = storage_read_time(model, 10**9, 1, in_memory=False)
+        fast = storage_read_time(model, 10**9, 1, in_memory=True)
+        assert fast < slow
+
+    def test_ops_add_latency(self):
+        model = DEFAULT_COST_MODEL
+        one = storage_read_time(model, 0, 1, in_memory=False)
+        five = storage_read_time(model, 0, 5, in_memory=False)
+        assert five == pytest.approx(5 * one)
+
+
+class TestModelValidation:
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ConfigError):
+            CostModel(network_bandwidth_bps=0)
+
+    def test_dfs_params_switch(self):
+        model = DEFAULT_COST_MODEL
+        assert model.dfs_params(False)[0] == model.dfs_write_bps
+        assert model.dfs_params(True)[0] == model.memdfs_write_bps
+
+    def test_barrier_max_empty(self):
+        assert barrier_max([], DEFAULT_COST_MODEL) == 0.0

@@ -1,0 +1,83 @@
+"""Dataset catalog tests: structural fidelity of the stand-ins."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    ALPHA_GRAPHS,
+    CATALOG,
+    CYCLOPS_WORKLOADS,
+    POWERLYRA_GRAPHS,
+    load,
+)
+from repro.graph.analysis import degree_stats
+
+
+class TestCatalogStructure:
+    def test_workload_table_matches_paper(self):
+        assert CYCLOPS_WORKLOADS == (
+            ("pagerank", "gweb"), ("pagerank", "ljournal"),
+            ("pagerank", "wiki"), ("als", "syn-gl"), ("cd", "dblp"),
+            ("sssp", "roadca"))
+
+    def test_all_referenced_datasets_exist(self):
+        for _, dataset in CYCLOPS_WORKLOADS:
+            assert dataset in CATALOG
+        for dataset in POWERLYRA_GRAPHS + ALPHA_GRAPHS:
+            assert dataset in CATALOG
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load("nope")
+
+    def test_load_is_cached(self):
+        assert load("gweb") is load("gweb")
+
+    def test_scale_factors_recorded(self):
+        for spec in CATALOG.values():
+            assert spec.scale >= 20
+            assert spec.paper_vertices > spec.scale
+
+
+class TestStructuralFidelity:
+    def test_relative_sizes_preserved(self):
+        """|V| and |E| orderings of Table 1 hold for the stand-ins."""
+        sizes = {name: degree_stats(load(name))
+                 for name in ("gweb", "ljournal", "wiki")}
+        assert sizes["gweb"].num_vertices < sizes["ljournal"].num_vertices \
+            < sizes["wiki"].num_vertices
+        assert sizes["gweb"].num_edges < sizes["ljournal"].num_edges \
+            < sizes["wiki"].num_edges
+
+    def test_selfish_profile_matches_fig3(self):
+        """GWeb/LJournal have >10% selfish vertices; others ~0."""
+        assert degree_stats(load("gweb")).selfish_fraction > 0.10
+        assert degree_stats(load("ljournal")).selfish_fraction > 0.10
+        for name in ("syn-gl", "dblp", "roadca"):
+            assert degree_stats(load(name)).selfish_fraction < 0.01
+
+    def test_alpha_series_monotone_edges(self):
+        """Table 4: lower alpha, more edges (heavier tail)."""
+        edges = [load(name).num_edges for name in ALPHA_GRAPHS]
+        assert edges == sorted(edges)
+        assert edges[-1] > 5 * edges[0]
+
+    def test_alpha_series_fixed_vertices(self):
+        sizes = {load(name).num_vertices for name in ALPHA_GRAPHS}
+        assert len(sizes) == 1
+
+    def test_twitter_heavy_tailed(self):
+        stats = degree_stats(load("twitter"))
+        assert stats.max_in_degree > 50 * stats.avg_out_degree
+
+    def test_roadca_weighted_lognormal(self):
+        graph = load("roadca")
+        assert graph.weights.min() > 0
+        assert graph.weights.max() / graph.weights.mean() > 3
+
+    def test_syn_gl_bipartite(self):
+        graph = load("syn-gl")
+        users = 4_400
+        for src, dst in zip(graph.sources[:200], graph.targets[:200]):
+            assert (src < users) != (dst < users)

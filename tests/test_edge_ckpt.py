@@ -1,0 +1,87 @@
+"""Edge-ckpt file tests (Section 4.3, vertex-cut edge recovery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import make_engine
+from repro.cluster.storage import PersistentStore
+from repro.ft.edge_ckpt import EdgeCkptStore, EdgeRecord
+from repro.graph import generators
+from repro.utils.sizing import BYTES_PER_EDGE
+
+
+class TestStoreBasics:
+    def test_write_and_read_all(self):
+        store = EdgeCkptStore(PersistentStore(), num_nodes=3)
+        records = {1: [EdgeRecord(0, 1, 1.0)],
+                   2: [EdgeRecord(2, 3, 2.0), EdgeRecord(4, 3, 1.0)]}
+        nbytes = store.write_node_edges(0, records)
+        assert nbytes == 3 * BYTES_PER_EDGE
+        assert len(store.read_all(0)) == 3
+        assert store.read_file(0, 2) == records[2]
+        assert store.read_file(0, 1) == records[1]
+
+    def test_missing_file_reads_empty(self):
+        store = EdgeCkptStore(PersistentStore(), num_nodes=3)
+        assert store.read_file(5, 1) == []
+        assert store.read_all(5) == []
+
+    def test_incremental_log(self):
+        store = EdgeCkptStore(PersistentStore(), num_nodes=3)
+        store.write_node_edges(0, {1: [EdgeRecord(0, 1, 1.0)]})
+        store.log_edge_update(0, 1, EdgeRecord(0, 1, 9.0))
+        records = store.read_file(0, 1)
+        assert len(records) == 2
+        assert records[-1].weight == 9.0
+
+    def test_file_nbytes(self):
+        store = EdgeCkptStore(PersistentStore(), num_nodes=3)
+        store.write_node_edges(0, {1: [EdgeRecord(0, 1, 1.0)] * 4})
+        assert store.file_nbytes(0, 1) == 4 * BYTES_PER_EDGE
+        assert store.file_nbytes(0, 2) == 0
+
+
+class TestEngineIntegration:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        graph = generators.power_law(200, alpha=2.0, seed=13,
+                                     avg_degree=5.0)
+        return make_engine(graph, "pagerank", num_nodes=5,
+                           partition="hybrid_cut")
+
+    def test_files_written_at_loading(self, engine):
+        assert engine.edge_ckpt is not None
+        total = sum(len(engine.edge_ckpt.read_all(n)) for n in range(5))
+        assert total == engine.graph.num_edges
+
+    def test_files_cover_each_node_edges(self, engine):
+        for node in range(5):
+            lg = engine.local_graphs[node]
+            local_edges = sum(len(s.in_edges) for s in lg.iter_slots())
+            assert len(engine.edge_ckpt.read_all(node)) == local_edges
+
+    def test_receiver_hosts_target_copy(self, engine):
+        """Every edge's receiver node hosts the master or a mirror of
+        the edge's target (the Migration placement rule)."""
+        for owner in range(5):
+            for receiver in range(5):
+                for record in engine.edge_ckpt.read_file(owner, receiver):
+                    master_node = engine.master_node_of[record.dst]
+                    meta = engine.local_graphs[master_node] \
+                        .slot_of(record.dst).meta
+                    hosts = {master_node, *meta.mirror_nodes}
+                    assert receiver in hosts
+
+    def test_receiver_is_not_owner(self, engine):
+        for owner in range(5):
+            for record in engine.edge_ckpt.read_file(owner, owner):
+                # Only permitted when no off-owner copy existed.
+                master_node = engine.master_node_of[record.dst]
+                assert master_node == owner
+
+    def test_edge_cut_engine_skips_edge_ckpt(self):
+        graph = generators.power_law(100, alpha=2.0, seed=14)
+        engine = make_engine(graph, "pagerank", num_nodes=4,
+                             partition="hash_edge_cut")
+        assert engine.edge_ckpt is None

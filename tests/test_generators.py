@@ -1,0 +1,152 @@
+"""Generator tests: structural properties of each synthetic family."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import generators
+
+
+class TestErdosRenyi:
+    def test_edge_count_close(self):
+        g = generators.erdos_renyi(500, 2000, seed=1)
+        assert abs(g.num_edges - 2000) <= 50
+
+    def test_deterministic(self):
+        a = generators.erdos_renyi(100, 300, seed=9)
+        b = generators.erdos_renyi(100, 300, seed=9)
+        assert np.array_equal(a.sources, b.sources)
+        assert np.array_equal(a.targets, b.targets)
+
+    def test_no_self_loops(self):
+        g = generators.erdos_renyi(50, 200, seed=2)
+        assert not np.any(g.sources == g.targets)
+
+
+class TestPowerLaw:
+    def test_avg_degree_targeting(self):
+        g = generators.power_law(2000, alpha=2.0, seed=3, avg_degree=8.0)
+        avg = g.num_edges / g.num_vertices
+        assert 6.5 <= avg <= 9.5
+
+    def test_selfish_fraction(self):
+        g = generators.power_law(2000, alpha=2.0, seed=3, avg_degree=4.0,
+                                 selfish_frac=0.2)
+        frac = float((g.out_degrees() == 0).mean())
+        assert 0.15 <= frac <= 0.25
+
+    def test_heavy_tail_in_degree(self):
+        g = generators.power_law(2000, alpha=2.0, seed=4, avg_degree=6.0)
+        in_deg = g.in_degrees()
+        assert in_deg.max() > 10 * in_deg.mean()
+
+    def test_lower_alpha_means_more_edges(self):
+        dense = generators.power_law(1000, alpha=1.8, seed=5)
+        sparse = generators.power_law(1000, alpha=2.4, seed=5)
+        assert dense.num_edges > sparse.num_edges
+
+    def test_rejects_alpha_at_most_one(self):
+        with pytest.raises(GraphError):
+            generators.power_law(10, alpha=1.0)
+
+    def test_rejects_bad_selfish_frac(self):
+        with pytest.raises(GraphError):
+            generators.power_law(10, alpha=2.0, selfish_frac=1.0)
+
+
+class TestSocialNetwork:
+    def test_reciprocity_preserves_selfish(self):
+        g = generators.social_network(1000, avg_degree=6.0, seed=6,
+                                      reciprocity=0.7, selfish_frac=0.15)
+        frac = float((g.out_degrees() == 0).mean())
+        assert 0.10 <= frac <= 0.20
+
+    def test_has_mutual_edges(self):
+        g = generators.social_network(300, avg_degree=6.0, seed=7,
+                                      reciprocity=0.9)
+        pairs = set(zip(g.sources.tolist(), g.targets.tolist()))
+        mutual = sum(1 for (u, v) in pairs if (v, u) in pairs)
+        assert mutual > len(pairs) * 0.3
+
+
+class TestRoadNetwork:
+    def test_grid_degrees(self):
+        g = generators.road_network(5, 5, seed=1)
+        # Interior vertices have 4 out-edges; bidirectional lattice.
+        assert g.out_degree(12) == 4
+        assert g.out_degree(0) == 2
+        assert g.num_edges == 2 * (2 * 5 * 4)
+
+    def test_weights_lognormal_positive(self):
+        g = generators.road_network(10, 10, seed=2)
+        assert np.all(g.weights > 0)
+        # log-normal(0.4, 1.2): median ~ e^0.4 ~ 1.5
+        assert 0.8 < np.median(g.weights) < 3.0
+
+    def test_symmetric(self):
+        g = generators.road_network(4, 4, seed=3)
+        pairs = set(zip(g.sources.tolist(), g.targets.tolist()))
+        assert all((v, u) in pairs for (u, v) in pairs)
+
+    def test_rejects_empty(self):
+        with pytest.raises(GraphError):
+            generators.road_network(0, 5)
+
+
+class TestBipartite:
+    def test_structure(self):
+        g = generators.bipartite(100, 20, edges_per_user=5, seed=1)
+        assert g.num_vertices == 120
+        # Every edge crosses the partition.
+        users = g.sources < 100
+        items = g.targets >= 100
+        crossing = users == items
+        assert crossing.all()
+
+    def test_both_directions_present(self):
+        g = generators.bipartite(50, 10, edges_per_user=4, seed=2)
+        pairs = set(zip(g.sources.tolist(), g.targets.tolist()))
+        assert all((v, u) in pairs for (u, v) in pairs)
+
+    def test_ratings_in_range(self):
+        g = generators.bipartite(50, 10, edges_per_user=4, seed=3)
+        assert np.all((g.weights >= 1.0) & (g.weights <= 5.0))
+
+    def test_no_selfish(self):
+        g = generators.bipartite(50, 10, edges_per_user=4, seed=4)
+        connected = (g.in_degrees() > 0) | (g.out_degrees() > 0)
+        assert not np.any((g.out_degrees() == 0) & connected)
+
+
+class TestStructured:
+    def test_ring(self):
+        g = generators.ring(5)
+        assert g.out_neighbors(4).tolist() == [0]
+        assert g.num_edges == 5
+
+    def test_star_inward(self):
+        g = generators.star(4, inward=True)
+        assert g.in_degree(0) == 4
+        assert g.out_degree(0) == 0
+
+    def test_star_outward(self):
+        g = generators.star(4, inward=False)
+        assert g.out_degree(0) == 4
+
+    def test_complete(self):
+        g = generators.complete(4)
+        assert g.num_edges == 12
+
+    def test_chain_weighted(self):
+        g = generators.chain(5, weighted=True, seed=1)
+        assert g.num_edges == 4
+        assert np.all(g.weights > 0)
+
+    def test_community_graph_two_blocks(self):
+        g = generators.community_graph(2, 30, seed=1)
+        assert g.num_vertices == 60
+        # Intra-community edges dominate.
+        same = (g.sources // 30) == (g.targets // 30)
+        assert same.mean() > 0.5

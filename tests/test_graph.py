@@ -1,0 +1,119 @@
+"""Graph substrate tests: CSR structure, builder, derived graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+
+
+def diamond():
+    """0 -> {1, 2} -> 3."""
+    builder = GraphBuilder(name="diamond")
+    builder.add_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+    return builder.build()
+
+
+class TestGraphStructure:
+    def test_counts(self):
+        g = diamond()
+        assert g.num_vertices == 4
+        assert g.num_edges == 4
+
+    def test_out_neighbors(self):
+        g = diamond()
+        assert sorted(g.out_neighbors(0).tolist()) == [1, 2]
+        assert g.out_neighbors(3).tolist() == []
+
+    def test_in_neighbors(self):
+        g = diamond()
+        assert sorted(g.in_neighbors(3).tolist()) == [1, 2]
+        assert g.in_neighbors(0).tolist() == []
+
+    def test_degrees(self):
+        g = diamond()
+        assert g.out_degree(0) == 2
+        assert g.in_degree(3) == 2
+        assert g.out_degrees().tolist() == [2, 1, 1, 0]
+        assert g.in_degrees().tolist() == [0, 1, 1, 2]
+
+    def test_edge_ids_consistent(self):
+        g = diamond()
+        for v in range(4):
+            for eid in g.in_edge_ids(v):
+                assert g.edge(int(eid))[1] == v
+            for eid in g.out_edge_ids(v):
+                assert g.edge(int(eid))[0] == v
+
+    def test_edges_iteration_sorted(self):
+        g = diamond()
+        edges = [(s, d) for s, d, _ in g.edges()]
+        assert edges == sorted(edges)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(2, np.array([0]), np.array([5]))
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(GraphError):
+            Graph(2, np.array([0]), np.array([1]), np.array([1.0, 2.0]))
+
+    def test_reversed(self):
+        g = diamond()
+        rev = g.reversed()
+        assert sorted(rev.out_neighbors(3).tolist()) == [1, 2]
+
+    def test_with_weights(self):
+        g = diamond()
+        g2 = g.with_weights(np.full(4, 2.5))
+        assert g2.edge(0)[2] == 2.5
+        assert g.edge(0)[2] == 1.0  # original untouched
+
+
+class TestBuilder:
+    def test_dedup(self):
+        builder = GraphBuilder()
+        builder.add_edge(0, 1)
+        builder.add_edge(0, 1)
+        assert builder.build().num_edges == 1
+
+    def test_dedup_keeps_first_weight(self):
+        builder = GraphBuilder()
+        builder.add_edge(0, 1, 5.0)
+        builder.add_edge(0, 1, 9.0)
+        assert builder.build().edge(0)[2] == 5.0
+
+    def test_self_loop_dropped_by_default(self):
+        builder = GraphBuilder()
+        builder.add_edge(1, 1)
+        assert builder.build().num_edges == 0
+
+    def test_self_loop_allowed_when_opted_in(self):
+        builder = GraphBuilder(allow_self_loops=True)
+        builder.add_edge(1, 1)
+        assert builder.build().num_edges == 1
+
+    def test_ensure_vertex_grows(self):
+        builder = GraphBuilder()
+        builder.ensure_vertex(9)
+        assert builder.build().num_vertices == 10
+
+    def test_negative_vertex_rejected(self):
+        builder = GraphBuilder()
+        with pytest.raises(GraphError):
+            builder.ensure_vertex(-1)
+
+    def test_add_vertex_allocates_sequentially(self):
+        builder = GraphBuilder()
+        assert builder.add_vertex() == 0
+        assert builder.add_vertex() == 1
+
+    def test_builder_reusable(self):
+        builder = GraphBuilder()
+        builder.add_edge(0, 1)
+        g1 = builder.build()
+        g2 = builder.build()
+        assert g1.num_edges == g2.num_edges == 1

@@ -1,0 +1,60 @@
+"""Edge-list I/O tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import generators
+from repro.graph.io import load_edge_list, save_edge_list
+
+
+class TestRoundtrip:
+    def test_unweighted(self, tmp_path):
+        g = generators.erdos_renyi(50, 200, seed=1)
+        path = tmp_path / "g.txt"
+        save_edge_list(g, path)
+        g2 = load_edge_list(path)
+        assert g2.num_vertices == g.num_vertices
+        assert g2.num_edges == g.num_edges
+        assert list(g2.edges()) == [(s, d, 1.0) for s, d, _ in g.edges()]
+
+    def test_weighted(self, tmp_path):
+        g = generators.chain(10, weighted=True, seed=2)
+        path = tmp_path / "w.txt"
+        save_edge_list(g, path, include_weights=True)
+        g2 = load_edge_list(path)
+        for (a, b, w1), (c, d, w2) in zip(g.edges(), g2.edges()):
+            assert (a, b) == (c, d)
+            assert w1 == pytest.approx(w2, rel=1e-4)
+
+    def test_forced_vertex_count(self, tmp_path):
+        path = tmp_path / "e.txt"
+        path.write_text("0\t1\n")
+        g = load_edge_list(path, num_vertices=10)
+        assert g.num_vertices == 10
+
+
+class TestParsing:
+    def test_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text("# header\n\n0\t1\n  \n2\t3\n")
+        assert load_edge_list(path).num_edges == 2
+
+    def test_bad_field_count(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1 2 3\n")
+        with pytest.raises(GraphFormatError):
+            load_edge_list(path)
+
+    def test_non_numeric(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphFormatError):
+            load_edge_list(path)
+
+    def test_negative_id(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("-1 2\n")
+        with pytest.raises(GraphFormatError):
+            load_edge_list(path)

@@ -1,0 +1,159 @@
+"""Partitioning tests: P1 invariants, strategy-specific properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import PartitionStrategy
+from repro.errors import PartitionError
+from repro.graph import generators
+from repro.partition import (
+    EdgeCutPartitioning,
+    fennel_edge_cut,
+    grid_vertex_cut,
+    hash_edge_cut,
+    hybrid_cut,
+    make_partitioner,
+    random_vertex_cut,
+    replication_factor,
+    report,
+)
+from repro.partition.base import VertexCutPartitioning
+from repro.partition.grid_vertex_cut import _grid_shape
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.power_law(600, alpha=2.0, seed=11, avg_degree=6.0)
+
+
+EDGE_CUTS = [hash_edge_cut, fennel_edge_cut]
+VERTEX_CUTS = [random_vertex_cut, grid_vertex_cut, hybrid_cut]
+
+
+class TestEdgeCuts:
+    @pytest.mark.parametrize("cut", EDGE_CUTS)
+    def test_every_vertex_assigned(self, graph, cut):
+        part = cut(graph, 8)
+        part.validate(graph)
+        assert part.master_of.shape == (graph.num_vertices,)
+        assert part.master_of.min() >= 0
+        assert part.master_of.max() < 8
+
+    def test_hash_deterministic(self, graph):
+        a = hash_edge_cut(graph, 8)
+        b = hash_edge_cut(graph, 8)
+        assert np.array_equal(a.master_of, b.master_of)
+
+    def test_hash_seed_changes_layout(self, graph):
+        a = hash_edge_cut(graph, 8, seed=0)
+        b = hash_edge_cut(graph, 8, seed=1)
+        assert not np.array_equal(a.master_of, b.master_of)
+
+    def test_hash_roughly_balanced(self, graph):
+        part = hash_edge_cut(graph, 8)
+        counts = np.bincount(part.master_of, minlength=8)
+        assert counts.max() < 2 * counts.mean()
+
+    def test_fennel_respects_balance_slack(self, graph):
+        part = fennel_edge_cut(graph, 8, balance_slack=1.1)
+        counts = np.bincount(part.master_of, minlength=8)
+        # capacity = slack * n/p + 1, and the last admitted vertex may
+        # land exactly on it
+        assert counts.max() <= 1.1 * graph.num_vertices / 8 + 2
+
+    def test_fennel_beats_hash_replication(self, graph):
+        lam_hash = replication_factor(graph, hash_edge_cut(graph, 8))
+        lam_fennel = replication_factor(graph, fennel_edge_cut(graph, 8))
+        assert lam_fennel < lam_hash
+
+    def test_masters_on(self, graph):
+        part = hash_edge_cut(graph, 4)
+        all_masters = np.concatenate([part.masters_on(n) for n in range(4)])
+        assert sorted(all_masters.tolist()) == list(range(graph.num_vertices))
+
+
+class TestVertexCuts:
+    @pytest.mark.parametrize("cut", VERTEX_CUTS)
+    def test_every_edge_assigned_once(self, graph, cut):
+        part = cut(graph, 6)
+        part.validate(graph)
+        assert part.edge_node.shape == (graph.num_edges,)
+        # P1: the union of per-node edge sets is a partition.
+        total = sum(len(part.edges_on(n)) for n in range(6))
+        assert total == graph.num_edges
+
+    @pytest.mark.parametrize("cut", VERTEX_CUTS)
+    def test_master_hosts_copy(self, graph, cut):
+        """The master node hosts at least one adjacent edge, or the
+        vertex is edge-free."""
+        part = cut(graph, 6)
+        hosts = [set() for _ in range(graph.num_vertices)]
+        for eid in range(graph.num_edges):
+            node = int(part.edge_node[eid])
+            hosts[int(graph.sources[eid])].add(node)
+            hosts[int(graph.targets[eid])].add(node)
+        for v in range(graph.num_vertices):
+            if hosts[v]:
+                assert int(part.master_of[v]) in hosts[v]
+
+    def test_grid_shape_square(self):
+        assert _grid_shape(50) == (5, 10)
+        assert _grid_shape(16) == (4, 4)
+        assert _grid_shape(7) == (1, 7)
+
+    def test_grid_constrains_spread(self, graph):
+        part = grid_vertex_cut(graph, 16)
+        rows, cols = _grid_shape(16)
+        cap = rows + cols  # constraint-set size bound
+        spread = [set() for _ in range(graph.num_vertices)]
+        for eid in range(graph.num_edges):
+            node = int(part.edge_node[eid])
+            spread[int(graph.sources[eid])].add(node)
+        assert max((len(s) for s in spread), default=0) <= cap
+
+    def test_hybrid_low_degree_edges_at_target_hash(self, graph):
+        part = hybrid_cut(graph, 6, threshold=100)
+        in_deg = graph.in_degrees()
+        vhash = hash_edge_cut(graph, 6).master_of
+        for eid in range(graph.num_edges):
+            dst = int(graph.targets[eid])
+            if in_deg[dst] <= 100:
+                assert part.edge_node[eid] == vhash[dst]
+
+    def test_replication_factor_ordering(self, graph):
+        """Fig. 14a: hybrid < grid <= random on skewed graphs."""
+        lam = {cut.__name__: replication_factor(graph, cut(graph, 16))
+               for cut in VERTEX_CUTS}
+        assert lam["hybrid_cut"] < lam["random_vertex_cut"]
+        assert lam["grid_vertex_cut"] < lam["random_vertex_cut"]
+
+
+class TestValidationAndFactory:
+    def test_bad_master_shape_rejected(self, graph):
+        part = EdgeCutPartitioning(4, np.zeros(3, dtype=np.int64))
+        with pytest.raises(PartitionError):
+            part.validate(graph)
+
+    def test_bad_edge_assignment_rejected(self, graph):
+        part = VertexCutPartitioning(
+            4, np.full(graph.num_edges, 9, dtype=np.int64),
+            np.zeros(graph.num_vertices, dtype=np.int64))
+        with pytest.raises(PartitionError):
+            part.validate(graph)
+
+    def test_factory_resolves_all_strategies(self, graph):
+        for strategy in PartitionStrategy:
+            fn = make_partitioner(strategy)
+            part = fn(graph, 4)
+            part.validate(graph)
+            assert part.kind == ("edge-cut" if strategy.is_edge_cut
+                                 else "vertex-cut")
+
+    def test_report_fields(self, graph):
+        rep = report(graph, hash_edge_cut(graph, 8))
+        assert rep.num_nodes == 8
+        assert rep.replication_factor >= 1.0
+        assert rep.vertex_balance >= 1.0
+        assert rep.edge_balance >= 1.0

@@ -1,0 +1,130 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These fuzz small random graphs and configurations against the
+invariants in DESIGN.md: partitioning completeness (P1), replication
+coverage (P2/P3), and the recovery-equivalence property (P4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import run_job
+from repro.config import FaultToleranceConfig, FTMode
+from repro.ft.replication import plan_replication
+from repro.graph.builder import GraphBuilder
+from repro.partition import (
+    grid_vertex_cut,
+    hash_edge_cut,
+    hybrid_cut,
+    random_vertex_cut,
+)
+
+SLOW = settings(max_examples=20, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def small_graphs(draw, max_vertices=40, max_edges=120):
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    m = draw(st.integers(min_value=1, max_value=max_edges))
+    builder = GraphBuilder(num_vertices=n, name="hyp")
+    for _ in range(m):
+        src = draw(st.integers(min_value=0, max_value=n - 1))
+        dst = draw(st.integers(min_value=0, max_value=n - 1))
+        builder.add_edge(src, dst)
+    return builder.build()
+
+
+class TestPartitioningProperties:
+    @SLOW
+    @given(graph=small_graphs(), num_nodes=st.integers(2, 6),
+           seed=st.integers(0, 10))
+    def test_edge_cut_assigns_every_vertex(self, graph, num_nodes, seed):
+        part = hash_edge_cut(graph, num_nodes, seed=seed)
+        part.validate(graph)
+        assert len(part.master_of) == graph.num_vertices
+
+    @SLOW
+    @given(graph=small_graphs(), num_nodes=st.integers(2, 6),
+           seed=st.integers(0, 10))
+    def test_vertex_cuts_partition_edges(self, graph, num_nodes, seed):
+        for cut in (random_vertex_cut, grid_vertex_cut, hybrid_cut):
+            part = cut(graph, num_nodes, seed=seed)
+            part.validate(graph)
+            counts = np.bincount(part.edge_node, minlength=num_nodes)
+            assert counts.sum() == graph.num_edges
+
+
+class TestReplicationProperties:
+    @SLOW
+    @given(graph=small_graphs(), num_nodes=st.integers(3, 6),
+           level=st.integers(1, 2), seed=st.integers(0, 5))
+    def test_plan_covers_every_vertex(self, graph, num_nodes, level, seed):
+        part = hash_edge_cut(graph, num_nodes, seed=seed)
+        cfg = FaultToleranceConfig(mode=FTMode.REPLICATION, ft_level=level)
+        plan = plan_replication(graph, part, cfg, seed=seed)
+        plan.validate()  # P2/P3 checks inside
+
+    @SLOW
+    @given(graph=small_graphs(), num_nodes=st.integers(3, 6),
+           seed=st.integers(0, 5))
+    def test_vertex_cut_plan_covers(self, graph, num_nodes, seed):
+        part = hybrid_cut(graph, num_nodes, seed=seed)
+        cfg = FaultToleranceConfig(mode=FTMode.REPLICATION, ft_level=1)
+        plan_replication(graph, part, cfg, seed=seed).validate()
+
+
+class TestRecoveryEquivalence:
+    """P4 fuzzing: any crash schedule within budget leaves results
+    exactly equal to the failure-free run (edge-cut)."""
+
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(graph=small_graphs(max_vertices=25, max_edges=60),
+           crash_node=st.integers(0, 3),
+           crash_iter=st.integers(0, 4),
+           recovery=st.sampled_from(["rebirth", "migration"]),
+           phase=st.sampled_from(["compute", "after_commit"]))
+    def test_pagerank_equivalence(self, graph, crash_node, crash_iter,
+                                  recovery, phase):
+        base = run_job(graph, "pagerank", num_nodes=4, max_iterations=5,
+                       seed=3)
+        failed = run_job(graph, "pagerank", num_nodes=4, max_iterations=5,
+                         seed=3, recovery=recovery,
+                         failures=[(crash_iter, [crash_node], phase)])
+        for v in range(graph.num_vertices):
+            assert failed.values[v] == base.values[v]
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(graph=small_graphs(max_vertices=25, max_edges=60),
+           crash_node=st.integers(0, 3),
+           recovery=st.sampled_from(["rebirth", "migration"]))
+    def test_vertex_cut_equivalence(self, graph, crash_node, recovery):
+        base = run_job(graph, "pagerank", num_nodes=4, max_iterations=5,
+                       seed=3, partition="hybrid_cut")
+        failed = run_job(graph, "pagerank", num_nodes=4, max_iterations=5,
+                         seed=3, partition="hybrid_cut", recovery=recovery,
+                         failures=[(2, [crash_node])])
+        for v in range(graph.num_vertices):
+            assert failed.values[v] == pytest.approx(base.values[v],
+                                                     rel=1e-9)
+
+
+class TestBuilderProperties:
+    @SLOW
+    @given(graph=small_graphs())
+    def test_csr_degree_sums(self, graph):
+        assert graph.out_degrees().sum() == graph.num_edges
+        assert graph.in_degrees().sum() == graph.num_edges
+
+    @SLOW
+    @given(graph=small_graphs())
+    def test_adjacency_roundtrip(self, graph):
+        for v in range(graph.num_vertices):
+            for u in graph.out_neighbors(v):
+                assert v in graph.in_neighbors(int(u))

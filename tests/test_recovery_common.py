@@ -1,0 +1,96 @@
+"""Unit tests for the shared recovery machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.local_graph import LocalGraph
+from repro.engine.messages import RecoveredVertex
+from repro.engine.state import MasterMeta, Role, VertexSlot
+from repro.errors import UnrecoverableFailureError
+from repro.ft._recovery_common import (
+    place_recovered_vertex,
+    relink_edge_cut_topology,
+    surviving_recoverer,
+)
+from repro.ft.edge_ckpt import EdgeRecord, dedupe_edge_records
+
+
+class TestSurvivingRecoverer:
+    def test_lowest_id_surviving_mirror(self):
+        meta = MasterMeta(mirror_nodes=[4, 7, 9])
+        assert surviving_recoverer(meta, failed={0}) == 4
+        assert surviving_recoverer(meta, failed={4}) == 7
+        assert surviving_recoverer(meta, failed={4, 7}) == 9
+        assert surviving_recoverer(meta, failed={4, 7, 9}) is None
+
+
+class TestDedupeEdgeRecords:
+    def test_last_wins_first_order(self):
+        records = [EdgeRecord(0, 1, 1.0), EdgeRecord(2, 3, 1.0),
+                   EdgeRecord(0, 1, 0.5), EdgeRecord(0, 1, 0.25)]
+        deduped = dedupe_edge_records(records)
+        assert deduped == [EdgeRecord(0, 1, 0.25), EdgeRecord(2, 3, 1.0)]
+
+    def test_empty(self):
+        assert dedupe_edge_records([]) == []
+
+
+class TestPlaceRecoveredVertex:
+    def make_rv(self, **kw):
+        defaults = dict(gid=3, role="master", position=2, value=1.5,
+                        active=True, last_activates=True, out_degree=1,
+                        in_degree=2, master_node=0,
+                        replica_positions={1: 0}, mirror_nodes=[1],
+                        master_position=2)
+        defaults.update(kw)
+        return RecoveredVertex(**defaults)
+
+    def test_positional_placement(self):
+        lg = LocalGraph(0)
+        slot = place_recovered_vertex(lg, self.make_rv(), last_commit=4)
+        assert lg.position_of(3) == 2
+        assert slot.role is Role.MASTER
+        assert slot.value == 1.5
+        assert slot.active
+        assert slot.last_update_iter == 4  # stamped: it activated
+        assert slot.meta.replica_positions == {1: 0}
+        assert lg.active_masters == {3}
+
+    def test_unstamped_when_no_activation(self):
+        lg = LocalGraph(0)
+        slot = place_recovered_vertex(
+            lg, self.make_rv(last_activates=False), last_commit=4)
+        assert slot.last_update_iter == -1
+
+    def test_mirror_fields(self):
+        lg = LocalGraph(1)
+        rv = self.make_rv(role="mirror", position=0, mirror_id=0)
+        slot = place_recovered_vertex(lg, rv, last_commit=1)
+        assert slot.is_mirror
+        assert slot.mirror_self_active
+
+
+class TestRelinkEdgeCut:
+    def test_positions_must_match(self):
+        lg = LocalGraph(0)
+        meta_kw = dict(replica_positions={}, mirror_nodes=[],
+                       master_position=0)
+        master = VertexSlot(gid=0, role=Role.MASTER, meta=MasterMeta())
+        master.full_edges = [(9, 1, 2.0)]  # expects gid 9 at position 1
+        lg.add_slot(master, position=0)
+        lg.add_slot(VertexSlot(gid=9, role=Role.REPLICA), position=1)
+        linked = relink_edge_cut_topology(lg)
+        assert linked == 1
+        assert lg.slot_of(0).in_edges == [(1, 2.0)]
+        assert lg.slot_of(9).out_edges == [0]
+        del meta_kw
+
+    def test_mismatched_position_raises(self):
+        lg = LocalGraph(0)
+        master = VertexSlot(gid=0, role=Role.MASTER, meta=MasterMeta())
+        master.full_edges = [(9, 1, 2.0)]
+        lg.add_slot(master, position=0)
+        lg.add_slot(VertexSlot(gid=8, role=Role.REPLICA), position=1)
+        with pytest.raises(UnrecoverableFailureError):
+            relink_edge_cut_topology(lg)

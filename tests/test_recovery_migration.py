@@ -1,0 +1,164 @@
+"""Migration recovery tests: promotion, FT restoration (P6), equivalence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import make_engine, run_job
+from repro.engine.state import Role
+from repro.graph import generators
+
+PARTS = ["hash_edge_cut", "hybrid_cut"]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.power_law(250, alpha=2.0, seed=61, avg_degree=5.0,
+                                selfish_frac=0.1)
+
+
+@pytest.fixture(scope="module")
+def baseline(graph):
+    result = run_job(graph, "pagerank", num_nodes=5, max_iterations=6)
+    return {v: result.values[v] for v in range(graph.num_vertices)}
+
+
+class TestEquivalence:
+    def test_edge_cut_bitwise_equal(self, graph, baseline):
+        result = run_job(graph, "pagerank", num_nodes=5, max_iterations=6,
+                         recovery="migration", failures=[(3, [2])])
+        for v in range(graph.num_vertices):
+            assert result.values[v] == baseline[v]
+
+    def test_vertex_cut_numerically_equal(self, graph, baseline):
+        """Vertex-cut migration regroups the gather fold: values agree
+        to floating-point reassociation tolerance."""
+        result = run_job(graph, "pagerank", num_nodes=5, max_iterations=6,
+                         partition="hybrid_cut", recovery="migration",
+                         failures=[(3, [2])])
+        for v in range(graph.num_vertices):
+            assert result.values[v] == pytest.approx(baseline[v],
+                                                     rel=1e-9)
+
+    @pytest.mark.parametrize("phase", ["compute", "after_commit"])
+    def test_both_detection_points(self, graph, baseline, phase):
+        result = run_job(graph, "pagerank", num_nodes=5, max_iterations=6,
+                         recovery="migration", failures=[(3, [2], phase)])
+        for v in range(graph.num_vertices):
+            assert result.values[v] == baseline[v]
+
+    def test_sssp_equivalent(self):
+        g = generators.chain(30, weighted=True, seed=3)
+        clean = run_job(g, "sssp", num_nodes=4, max_iterations=60,
+                        algorithm_kwargs={"source": 0})
+        failed = run_job(g, "sssp", num_nodes=4, max_iterations=60,
+                         recovery="migration",
+                         algorithm_kwargs={"source": 0},
+                         failures=[(8, [1])])
+        for v in range(30):
+            assert failed.values[v] == clean.values[v]
+
+    def test_two_sequential_failures(self, graph, baseline):
+        result = run_job(graph, "pagerank", num_nodes=5, max_iterations=6,
+                         recovery="migration", failures=[(2, [1]), (4, [3])])
+        assert len(result.recoveries) == 2
+        for v in range(graph.num_vertices):
+            assert result.values[v] == baseline[v]
+
+
+class TestPromotion:
+    def test_masters_moved_to_survivors(self, graph):
+        engine = make_engine(graph, "pagerank", num_nodes=5,
+                             max_iterations=6, recovery="migration")
+        moved = [v for v in range(graph.num_vertices)
+                 if engine.master_node_of[v] == 2]
+        engine.schedule_failure(3, [2])
+        engine.run()
+        assert moved  # node 2 owned something
+        for v in moved:
+            new_node = engine.master_node_of[v]
+            assert new_node != 2
+            slot = engine.local_graphs[new_node].slot_of(v)
+            assert slot.role is Role.MASTER
+
+    def test_no_standby_consumed(self, graph):
+        engine = make_engine(graph, "pagerank", num_nodes=5,
+                             max_iterations=6, recovery="migration",
+                             num_standby=1)
+        engine.schedule_failure(3, [2])
+        engine.run()
+        assert len(engine.cluster.standby_nodes()) == 1
+        assert 2 not in engine.cluster.alive_workers()
+
+    def test_works_with_zero_standby(self, graph, baseline):
+        result = run_job(graph, "pagerank", num_nodes=5, max_iterations=6,
+                         recovery="migration", num_standby=0,
+                         failures=[(3, [2])])
+        for v in range(graph.num_vertices):
+            assert result.values[v] == baseline[v]
+
+
+class TestFtLevelRestoration:
+    @pytest.mark.parametrize("partition", PARTS)
+    def test_every_vertex_keeps_k_mirrors(self, graph, partition):
+        """Invariant P6: after migration every vertex again tolerates
+        ft_level failures."""
+        engine = make_engine(graph, "pagerank", num_nodes=5,
+                             max_iterations=6, partition=partition,
+                             recovery="migration")
+        engine.schedule_failure(3, [2])
+        engine.run()
+        alive = set(engine.cluster.alive_workers())
+        for v in range(graph.num_vertices):
+            node = engine.master_node_of[v]
+            assert node in alive
+            meta = engine.local_graphs[node].slot_of(v).meta
+            assert len(meta.mirror_nodes) >= 1
+            for mnode in meta.mirror_nodes:
+                assert mnode in alive
+                mirror = engine.local_graphs[mnode].slot_of(v)
+                assert mirror.role is Role.MIRROR
+                assert mirror.master_node == node
+
+    def test_survives_failure_after_migration(self, graph, baseline):
+        """The restored FT level actually covers a second failure."""
+        result = run_job(graph, "pagerank", num_nodes=5, max_iterations=6,
+                         recovery="migration", num_standby=0,
+                         failures=[(2, [2]), (4, [0])])
+        assert len(result.recoveries) == 2
+        for v in range(graph.num_vertices):
+            assert result.values[v] == pytest.approx(baseline[v],
+                                                     rel=1e-9)
+
+    def test_replica_positions_valid_after_migration(self, graph):
+        engine = make_engine(graph, "pagerank", num_nodes=5,
+                             max_iterations=6, recovery="migration")
+        engine.schedule_failure(3, [2])
+        engine.run()
+        for node in engine.cluster.alive_workers():
+            lg = engine.local_graphs[node]
+            for slot in lg.iter_masters():
+                for rnode, pos in slot.meta.replica_positions.items():
+                    replica = engine.local_graphs[rnode].slots[pos]
+                    assert replica is not None
+                    assert replica.gid == slot.gid
+
+
+class TestStats:
+    def test_stats_populated(self, graph):
+        result = run_job(graph, "pagerank", num_nodes=5, max_iterations=6,
+                         recovery="migration", failures=[(3, [2])])
+        stats = result.recoveries[0]
+        assert stats.strategy == "migration"
+        assert stats.newbie_nodes == ()
+        assert stats.vertices_recovered > 0
+        assert stats.total_s > 0
+
+    def test_migration_pays_more_rounds_than_rebirth(self, graph):
+        """Section 6.4: multiple message rounds slow Migration on small
+        graphs."""
+        mig = run_job(graph, "pagerank", num_nodes=5, max_iterations=6,
+                      recovery="migration", failures=[(3, [2])])
+        reb = run_job(graph, "pagerank", num_nodes=5, max_iterations=6,
+                      recovery="rebirth", failures=[(3, [2])])
+        assert mig.recoveries[0].reload_s > reb.recoveries[0].reload_s

@@ -1,0 +1,140 @@
+"""Rebirth recovery tests: equivalence (P4), position stability (P7),
+phase accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import make_engine, run_job
+from repro.engine.state import Role
+from repro.graph import generators
+
+PARTS = ["hash_edge_cut", "hybrid_cut"]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.power_law(250, alpha=2.0, seed=51, avg_degree=5.0,
+                                selfish_frac=0.1)
+
+
+@pytest.fixture(scope="module")
+def baseline(graph):
+    result = run_job(graph, "pagerank", num_nodes=5, max_iterations=6)
+    return {v: result.values[v] for v in range(graph.num_vertices)}
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("partition", PARTS)
+    @pytest.mark.parametrize("phase", ["compute", "after_commit"])
+    def test_pagerank_equivalent(self, graph, baseline, partition, phase):
+        result = run_job(graph, "pagerank", num_nodes=5, max_iterations=6,
+                         partition=partition, recovery="rebirth",
+                         failures=[(3, [2], phase)])
+        assert len(result.recoveries) == 1
+        for v in range(graph.num_vertices):
+            assert result.values[v] == pytest.approx(baseline[v],
+                                                     rel=1e-12)
+
+    def test_edge_cut_bitwise_equal(self, graph, baseline):
+        """Edge-cut Rebirth preserves gather order: exact equality."""
+        result = run_job(graph, "pagerank", num_nodes=5, max_iterations=6,
+                         recovery="rebirth", failures=[(3, [2])])
+        for v in range(graph.num_vertices):
+            assert result.values[v] == baseline[v]
+
+    def test_failure_at_first_iteration(self, graph, baseline):
+        result = run_job(graph, "pagerank", num_nodes=5, max_iterations=6,
+                         recovery="rebirth", failures=[(0, [1])])
+        for v in range(graph.num_vertices):
+            assert result.values[v] == baseline[v]
+
+    def test_sssp_equivalent(self):
+        g = generators.chain(30, weighted=True, seed=2)
+        clean = run_job(g, "sssp", num_nodes=4, max_iterations=60,
+                        algorithm_kwargs={"source": 0})
+        failed = run_job(g, "sssp", num_nodes=4, max_iterations=60,
+                         recovery="rebirth", algorithm_kwargs={"source": 0},
+                         failures=[(10, [1])])
+        for v in range(30):
+            assert failed.values[v] == clean.values[v]
+
+    def test_two_sequential_failures(self, graph, baseline):
+        result = run_job(graph, "pagerank", num_nodes=5, max_iterations=6,
+                         recovery="rebirth", num_standby=2,
+                         failures=[(2, [1]), (4, [3])])
+        assert len(result.recoveries) == 2
+        for v in range(graph.num_vertices):
+            assert result.values[v] == baseline[v]
+
+
+class TestPositionStability:
+    def test_rebuilt_array_identical(self, graph):
+        """Invariant P7: the reborn node's vertex array matches the
+        crashed node's layout slot by slot."""
+        engine_a = make_engine(graph, "pagerank", num_nodes=5,
+                               max_iterations=6)
+        layout_before = [
+            (s.gid, s.role, len(s.in_edges), len(s.out_edges))
+            for s in engine_a.local_graphs[2].slots if s is not None]
+        engine_a.schedule_failure(3, [2])
+        engine_a.run()
+        layout_after = [
+            (s.gid, s.role, len(s.in_edges), len(s.out_edges))
+            for s in engine_a.local_graphs[2].slots if s is not None]
+        assert layout_before == layout_after
+
+    def test_meta_positions_still_valid(self, graph):
+        engine = make_engine(graph, "pagerank", num_nodes=5,
+                             max_iterations=6)
+        engine.schedule_failure(3, [2])
+        engine.run()
+        for node, lg in engine.local_graphs.items():
+            for slot in lg.iter_masters():
+                for rnode, pos in slot.meta.replica_positions.items():
+                    replica = engine.local_graphs[rnode].slots[pos]
+                    assert replica is not None and replica.gid == slot.gid
+
+
+class TestStats:
+    @pytest.mark.parametrize("partition", PARTS)
+    def test_recovery_stats_populated(self, graph, partition):
+        result = run_job(graph, "pagerank", num_nodes=5, max_iterations=6,
+                         partition=partition, recovery="rebirth",
+                         failures=[(3, [2])])
+        stats = result.recoveries[0]
+        assert stats.strategy == "rebirth"
+        assert stats.failed_nodes == (2,)
+        assert stats.newbie_nodes == (2,)
+        assert stats.vertices_recovered > 0
+        assert stats.recovery_messages > 0
+        assert stats.recovery_bytes > 0
+        assert stats.total_s > 0
+        assert stats.detection_s == pytest.approx(7.0)
+
+    def test_edge_cut_has_no_explicit_reconstruction(self, graph):
+        """Fig. 9a: reconstruction folds into reloading for edge-cut."""
+        result = run_job(graph, "pagerank", num_nodes=5, max_iterations=6,
+                         recovery="rebirth", failures=[(3, [2])])
+        assert result.recoveries[0].reconstruct_s == 0.0
+
+    def test_vertex_cut_reads_edge_ckpt(self, graph):
+        result = run_job(graph, "pagerank", num_nodes=5, max_iterations=6,
+                         partition="hybrid_cut", recovery="rebirth",
+                         failures=[(3, [2])])
+        stats = result.recoveries[0]
+        assert stats.edges_recovered > 0
+        assert stats.reconstruct_s > 0
+
+    def test_mirror_leads_master_recovery(self, graph):
+        """After rebirth the recovered masters' mirrors are intact."""
+        engine = make_engine(graph, "pagerank", num_nodes=5,
+                             max_iterations=6)
+        engine.schedule_failure(3, [2])
+        engine.run()
+        lg = engine.local_graphs[2]
+        for slot in lg.iter_masters():
+            for mnode in slot.meta.mirror_nodes:
+                mirror = engine.local_graphs[mnode].slot_of(slot.gid)
+                assert mirror.role is Role.MIRROR

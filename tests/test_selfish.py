@@ -1,0 +1,83 @@
+"""Selfish-vertex optimisation tests (Section 4.4, invariant P5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import make_engine, run_job
+from repro.graph import generators
+
+
+@pytest.fixture(scope="module")
+def graph():
+    # A large selfish population makes the message savings visible.
+    return generators.power_law(300, alpha=2.0, seed=91, avg_degree=5.0,
+                                selfish_frac=0.25)
+
+
+class TestMessageSavings:
+    def test_fewer_messages_with_optimization(self, graph):
+        on = run_job(graph, "pagerank", num_nodes=6, max_iterations=4,
+                     selfish_optimization=True)
+        off = run_job(graph, "pagerank", num_nodes=6, max_iterations=4,
+                      selfish_optimization=False)
+        assert on.total_messages < off.total_messages
+
+    def test_values_identical(self, graph):
+        """P5: the optimisation never changes results."""
+        on = run_job(graph, "pagerank", num_nodes=6, max_iterations=4,
+                     selfish_optimization=True)
+        off = run_job(graph, "pagerank", num_nodes=6, max_iterations=4,
+                      selfish_optimization=False)
+        for v in range(graph.num_vertices):
+            assert on.values[v] == off.values[v]
+
+    def test_not_applied_to_history_dependent_programs(self):
+        """SSSP is not history-free: selfish vertices sync normally and
+        the message counts match."""
+        g = generators.power_law(200, alpha=2.0, seed=5, avg_degree=4.0,
+                                 selfish_frac=0.2)
+        on = run_job(g, "sssp", num_nodes=4, max_iterations=30,
+                     selfish_optimization=True,
+                     algorithm_kwargs={"source": 0})
+        off = run_job(g, "sssp", num_nodes=4, max_iterations=30,
+                      selfish_optimization=False,
+                      algorithm_kwargs={"source": 0})
+        assert on.total_messages == off.total_messages
+
+
+class TestRecoveryWithSelfishOptimization:
+    @pytest.mark.parametrize("recovery", ["rebirth", "migration"])
+    def test_selfish_values_recomputed(self, graph, recovery):
+        """A recovered selfish master's value is recomputed from
+        neighbors, ending exactly equal to the failure-free run."""
+        base = run_job(graph, "pagerank", num_nodes=6, max_iterations=6)
+        result = run_job(graph, "pagerank", num_nodes=6, max_iterations=6,
+                         recovery=recovery, failures=[(3, [1])])
+        for v in range(graph.num_vertices):
+            assert result.values[v] == pytest.approx(base.values[v],
+                                                     rel=1e-12)
+
+    def test_vertex_cut_selfish_recovery(self, graph):
+        base = run_job(graph, "pagerank", num_nodes=6, max_iterations=6,
+                       partition="hybrid_cut")
+        result = run_job(graph, "pagerank", num_nodes=6, max_iterations=6,
+                         partition="hybrid_cut", recovery="migration",
+                         failures=[(3, [1])])
+        for v in range(graph.num_vertices):
+            assert result.values[v] == pytest.approx(base.values[v],
+                                                     rel=1e-9)
+
+    def test_selfish_flagged_in_slots(self, graph):
+        engine = make_engine(graph, "pagerank", num_nodes=6)
+        selfish = set((graph.out_degrees() == 0).nonzero()[0].tolist())
+        for lg in engine.local_graphs.values():
+            for slot in lg.iter_slots():
+                assert slot.selfish == (slot.gid in selfish)
+
+    def test_selfish_mirrors_are_ft_only(self, graph):
+        engine = make_engine(graph, "pagerank", num_nodes=6)
+        for lg in engine.local_graphs.values():
+            for slot in lg.iter_mirrors():
+                if slot.selfish:
+                    assert slot.ft_only

@@ -1,0 +1,84 @@
+"""Persistent-store (HDFS stand-in) tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.storage import PersistentStore
+from repro.errors import StorageError
+
+
+class TestBasicOps:
+    def test_write_read_roundtrip(self):
+        store = PersistentStore()
+        store.write("a/b", {"k": 1}, 100)
+        assert store.read("a/b") == {"k": 1}
+        assert store.bytes_written == 100
+        assert store.bytes_read == 100
+
+    def test_overwrite_bumps_version(self):
+        store = PersistentStore()
+        store.write("x", 1, 10)
+        obj = store.write("x", 2, 20)
+        assert obj.version == 2
+        assert store.read("x") == 2
+
+    def test_missing_read_raises(self):
+        store = PersistentStore()
+        with pytest.raises(StorageError):
+            store.read("nope")
+
+    def test_delete(self):
+        store = PersistentStore()
+        store.write("x", 1, 10)
+        store.delete("x")
+        assert not store.exists("x")
+        with pytest.raises(StorageError):
+            store.delete("x")
+
+    def test_negative_size_rejected(self):
+        store = PersistentStore()
+        with pytest.raises(StorageError):
+            store.write("x", 1, -5)
+
+
+class TestAppend:
+    def test_append_creates_log(self):
+        store = PersistentStore()
+        store.append("log", "r1", 10)
+        store.append("log", "r2", 10)
+        assert store.read("log") == ["r1", "r2"]
+        assert store.stat("log").nbytes == 20
+
+    def test_append_to_non_list_raises(self):
+        store = PersistentStore()
+        store.write("x", {"not": "list"}, 5)
+        with pytest.raises(StorageError):
+            store.append("x", "r", 5)
+
+
+class TestListing:
+    def test_listdir_prefix(self):
+        store = PersistentStore()
+        store.write("dir/a", 1, 1)
+        store.write("dir/b", 2, 1)
+        store.write("other/c", 3, 1)
+        assert list(store.listdir("dir")) == ["dir/a", "dir/b"]
+
+    def test_replicated_footprint(self):
+        store = PersistentStore(replication_factor=3)
+        store.write("x", 1, 100)
+        assert store.total_bytes_stored == 100
+        assert store.replicated_bytes_stored == 300
+
+    def test_rejects_zero_replication(self):
+        with pytest.raises(StorageError):
+            PersistentStore(replication_factor=0)
+
+    def test_reset_counters(self):
+        store = PersistentStore()
+        store.write("x", 1, 10)
+        store.read("x")
+        store.reset_counters()
+        assert store.bytes_written == 0
+        assert store.read_ops == 0

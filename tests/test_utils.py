@@ -1,0 +1,91 @@
+"""Unit tests for repro.utils: hashing, RNG streams, sizing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.hashing import hash_to_node, stable_hash
+from repro.utils.rng import SeededRng, derive_seed
+from repro.utils.sizing import (
+    BYTES_PER_EDGE,
+    BYTES_PER_VALUE,
+    BYTES_PER_VID,
+    sizeof_value,
+)
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash(42) == stable_hash(42)
+        assert stable_hash(42, salt=1) == stable_hash(42, salt=1)
+
+    def test_salt_changes_output(self):
+        assert stable_hash(42) != stable_hash(42, salt=1)
+
+    def test_distinct_inputs_differ(self):
+        values = {stable_hash(i) for i in range(1000)}
+        assert len(values) == 1000
+
+    def test_64_bit_range(self):
+        for i in (0, 1, 2**40, 2**63):
+            assert 0 <= stable_hash(i) < 2**64
+
+    def test_avalanche_spread(self):
+        # Consecutive inputs should land in different nodes often.
+        nodes = [hash_to_node(i, 10) for i in range(1000)]
+        counts = [nodes.count(k) for k in range(10)]
+        assert min(counts) > 50  # roughly uniform
+
+    def test_hash_to_node_range(self):
+        for i in range(100):
+            assert 0 <= hash_to_node(i, 7) < 7
+
+    def test_hash_to_node_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            hash_to_node(1, 0)
+
+
+class TestSeededRng:
+    def test_same_labels_same_stream(self):
+        a = SeededRng(1, "x", 2)
+        b = SeededRng(1, "x", 2)
+        assert [a.randint(0, 100) for _ in range(5)] == \
+            [b.randint(0, 100) for _ in range(5)]
+
+    def test_different_labels_diverge(self):
+        a = SeededRng(1, "x")
+        b = SeededRng(1, "y")
+        assert [a.randint(0, 10**9) for _ in range(3)] != \
+            [b.randint(0, 10**9) for _ in range(3)]
+
+    def test_child_stream_independent(self):
+        root = SeededRng(1, "root")
+        child = root.child("sub")
+        assert child.seed != root.seed
+
+    def test_derive_seed_mixed_labels(self):
+        assert derive_seed(5, "a", 1) == derive_seed(5, "a", 1)
+        assert derive_seed(5, "a", 1) != derive_seed(5, "a", 2)
+        assert derive_seed(5, "a") != derive_seed(6, "a")
+
+    def test_sample_and_choice(self):
+        rng = SeededRng(3, "s")
+        sample = rng.sample(list(range(20)), 5)
+        assert len(set(sample)) == 5
+        assert rng.choice([7]) == 7
+
+
+class TestSizing:
+    def test_scalar_value(self):
+        assert sizeof_value(1.0) == BYTES_PER_VALUE
+        assert sizeof_value(7) == BYTES_PER_VALUE
+
+    def test_vector_value(self):
+        assert sizeof_value((1.0, 2.0, 3.0)) == 3 * BYTES_PER_VALUE
+        assert sizeof_value([1.0] * 5) == 5 * BYTES_PER_VALUE
+
+    def test_empty_vector_counts_one_slot(self):
+        assert sizeof_value(()) == BYTES_PER_VALUE
+
+    def test_edge_record_layout(self):
+        assert BYTES_PER_EDGE == 2 * BYTES_PER_VID + 8

@@ -1,0 +1,95 @@
+"""Vertex-cut protocol details: gather/scatter traffic, activation
+broadcasts, and partial-fold determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import make_engine, run_job
+from repro.cluster.network import MessageKind
+from repro.graph import generators
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.power_law(200, alpha=2.0, seed=19, avg_degree=5.0)
+
+
+class TestTrafficShape:
+    def test_gather_and_sync_both_flow(self, graph):
+        engine = make_engine(graph, "pagerank", num_nodes=4,
+                             partition="random_vertex_cut",
+                             max_iterations=2)
+        engine.run()
+        kinds = engine.cluster.network.totals.msgs_by_kind
+        assert kinds[MessageKind.GATHER] > 0
+        assert kinds[MessageKind.SYNC] + kinds[MessageKind.MIRROR_SYNC] > 0
+
+    def test_hybrid_keeps_low_degree_gathers_local(self, graph):
+        """PowerLyra's design goal: a low-degree vertex's in-edges are
+        co-located with its master, so no partial gathers travel."""
+        engine = make_engine(graph, "pagerank", num_nodes=4,
+                             partition="hybrid_cut", max_iterations=2)
+        engine.run()
+        kinds = engine.cluster.network.totals.msgs_by_kind
+        # The stand-in graph has no vertex above the in-degree
+        # threshold, so every gather is local.
+        assert kinds[MessageKind.GATHER] == 0
+
+    def test_edge_cut_has_no_gather_traffic(self, graph):
+        engine = make_engine(graph, "pagerank", num_nodes=4,
+                             partition="hash_edge_cut", max_iterations=2)
+        engine.run()
+        kinds = engine.cluster.network.totals.msgs_by_kind
+        assert kinds[MessageKind.GATHER] == 0
+
+    def test_always_active_runs_send_no_broadcasts(self, graph):
+        """PageRank never changes activity: zero CONTROL broadcasts."""
+        engine = make_engine(graph, "pagerank", num_nodes=4,
+                             partition="hybrid_cut", max_iterations=3)
+        engine.run()
+        kinds = engine.cluster.network.totals.msgs_by_kind
+        assert kinds[MessageKind.CONTROL] == 0
+
+    def test_event_driven_runs_broadcast_activity(self):
+        """SSSP activity changes trigger activity broadcasts and
+        ACTIVATE signals."""
+        g = generators.erdos_renyi(150, 600, seed=4)
+        engine = make_engine(g, "sssp", num_nodes=4,
+                             partition="random_vertex_cut",
+                             max_iterations=40,
+                             algorithm_kwargs={"source": 0})
+        engine.run()
+        kinds = engine.cluster.network.totals.msgs_by_kind
+        assert kinds[MessageKind.ACTIVATE] > 0
+        assert kinds[MessageKind.CONTROL] > 0
+
+    def test_vertex_cut_sends_more_messages_than_edge_cut(self, graph):
+        """The two-direction GAS flow costs more messages per iteration
+        (Cyclops' motivation)."""
+        _, ec = (None, run_job(graph, "pagerank", num_nodes=4,
+                               partition="hash_edge_cut",
+                               max_iterations=3))
+        vc = run_job(graph, "pagerank", num_nodes=4,
+                     partition="random_vertex_cut", max_iterations=3)
+        assert vc.total_messages > ec.total_messages
+
+
+class TestFoldDeterminism:
+    def test_same_values_across_seeds_of_partitioning(self, graph):
+        """Different edge placements must not change PageRank results
+        beyond float reassociation (sorted partial folds)."""
+        a = run_job(graph, "pagerank", num_nodes=4, seed=1,
+                    partition="random_vertex_cut", max_iterations=4)
+        b = run_job(graph, "pagerank", num_nodes=4, seed=2,
+                    partition="random_vertex_cut", max_iterations=4)
+        for v in range(graph.num_vertices):
+            assert a.values[v] == pytest.approx(b.values[v], rel=1e-10)
+
+    def test_repeat_run_bitwise_identical(self, graph):
+        a = run_job(graph, "pagerank", num_nodes=4,
+                    partition="hybrid_cut", max_iterations=4)
+        b = run_job(graph, "pagerank", num_nodes=4,
+                    partition="hybrid_cut", max_iterations=4)
+        assert a.values == b.values
+        assert a.total_messages == b.total_messages

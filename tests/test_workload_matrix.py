@@ -1,0 +1,76 @@
+"""Workload matrix: every paper algorithm survives a crash with
+results equal to the failure-free run, on both cuts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import run_job
+from repro.graph import generators
+
+
+def close(a, b, rel=1e-9):
+    if isinstance(a, tuple):
+        return all(close(x, y, rel) for x, y in zip(a, b))
+    if a == b:
+        return True
+    return abs(a - b) <= rel * max(abs(a), abs(b))
+
+
+WORKLOADS = {
+    "pagerank": dict(
+        graph=lambda: generators.power_law(250, alpha=2.0, seed=77,
+                                           avg_degree=5.0,
+                                           selfish_frac=0.1),
+        kwargs={}, iterations=5),
+    "cd": dict(
+        graph=lambda: generators.community_graph(3, 40, p_in=0.25,
+                                                 p_out_edges=1, seed=7),
+        kwargs={}, iterations=12),
+    "sssp": dict(
+        graph=lambda: generators.road_network(12, 12, seed=7),
+        kwargs={"source": 0}, iterations=80),
+    "als": dict(
+        graph=lambda: generators.bipartite(160, 40, edges_per_user=6,
+                                           seed=7),
+        kwargs={"num_users": 160, "rank": 2}, iterations=6),
+    "cc": dict(
+        graph=lambda: generators.social_network(200, avg_degree=4.0,
+                                                seed=7, reciprocity=1.0),
+        kwargs={}, iterations=30),
+}
+
+
+@pytest.mark.parametrize("algorithm", sorted(WORKLOADS))
+@pytest.mark.parametrize("partition,recovery", [
+    ("hash_edge_cut", "rebirth"),
+    ("hash_edge_cut", "migration"),
+    ("hybrid_cut", "rebirth"),
+    ("hybrid_cut", "migration"),
+])
+def test_algorithm_survives_crash(algorithm, partition, recovery):
+    spec = WORKLOADS[algorithm]
+    graph = spec["graph"]()
+    common = dict(num_nodes=5, max_iterations=spec["iterations"],
+                  partition=partition, algorithm_kwargs=spec["kwargs"],
+                  seed=11)
+    clean = run_job(graph, algorithm, **common)
+    failed = run_job(graph, algorithm, recovery=recovery,
+                     failures=[(2, [1])], **common)
+    assert failed.recoveries
+    for v in range(graph.num_vertices):
+        assert close(failed.values[v], clean.values[v]), \
+            f"vertex {v}: {failed.values[v]} != {clean.values[v]}"
+
+
+@pytest.mark.parametrize("algorithm", ["pagerank", "cd", "als"])
+def test_algorithm_survives_crash_under_checkpoint(algorithm):
+    spec = WORKLOADS[algorithm]
+    graph = spec["graph"]()
+    common = dict(num_nodes=5, max_iterations=spec["iterations"],
+                  algorithm_kwargs=spec["kwargs"], seed=11)
+    clean = run_job(graph, algorithm, ft_mode="none", **common)
+    failed = run_job(graph, algorithm, ft_mode="checkpoint",
+                     checkpoint_interval=3, failures=[(4, [1])], **common)
+    for v in range(graph.num_vertices):
+        assert close(failed.values[v], clean.values[v], rel=1e-12)

@@ -1,0 +1,52 @@
+"""Young's-model tests (Section 6.11)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.ft.young import DEFAULT_MTBF_S, efficiency, optimal_interval
+
+
+class TestOptimalInterval:
+    def test_formula(self):
+        assert optimal_interval(2.0, 100.0) == pytest.approx(
+            math.sqrt(400.0))
+
+    def test_paper_ckpt_magnitude(self):
+        """Paper: CKPT payment 75.63 s on a 7.3-day-MTBF cluster gives
+        an optimal interval of 9,768 s."""
+        interval = optimal_interval(75.63, DEFAULT_MTBF_S)
+        assert interval == pytest.approx(9768, rel=0.01)
+
+    def test_paper_rep_magnitude(self):
+        """Paper: REP payment 0.31 s gives 623 s."""
+        interval = optimal_interval(0.31, DEFAULT_MTBF_S)
+        assert interval == pytest.approx(623, rel=0.02)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            optimal_interval(0.0)
+        with pytest.raises(ConfigError):
+            optimal_interval(1.0, mtbf_s=0.0)
+
+
+class TestEfficiency:
+    def test_paper_efficiencies(self):
+        """Paper Section 6.11: CKPT ~98.44%, REP ~99.90%."""
+        ckpt = efficiency("ckpt", 75.63, 183.7)
+        rep = efficiency("rep", 0.31, 33.4)
+        assert ckpt.efficiency == pytest.approx(0.9844, abs=0.005)
+        assert rep.efficiency == pytest.approx(0.9990, abs=0.001)
+        assert rep.efficiency > ckpt.efficiency
+
+    def test_cheaper_payment_higher_efficiency(self):
+        cheap = efficiency("a", 0.1, 10.0)
+        costly = efficiency("b", 100.0, 10.0)
+        assert cheap.efficiency > costly.efficiency
+
+    def test_efficiency_below_one(self):
+        report = efficiency("x", 1.0, 1.0)
+        assert 0.0 < report.efficiency < 1.0
