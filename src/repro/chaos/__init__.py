@@ -1,0 +1,34 @@
+"""Deterministic chaos harness with differential recovery oracles.
+
+Everything here derives from integer seeds (:class:`FailureSchedule`),
+fires through the engine's phase hooks (:class:`ChaosController`),
+asserts replication invariants at every barrier
+(:class:`InvariantChecker`) and compares converged values against a
+failure-free baseline (:func:`run_differential`).  See the "Chaos
+testing" section of DESIGN.md.
+"""
+
+from repro.chaos.controller import (ChaosController, IDEMPOTENT_KINDS,
+                                    PHASE_ORDER)
+from repro.chaos.invariants import InvariantChecker, InvariantViolation
+from repro.chaos.oracle import (OracleReport, run_differential,
+                                run_with_chaos, values_close)
+from repro.chaos.schedule import (ChaosEvent, CRASH_PHASES, EVENT_PHASES,
+                                  FailureSchedule, TARGET_PREDICATES)
+
+__all__ = [
+    "ChaosController",
+    "ChaosEvent",
+    "CRASH_PHASES",
+    "EVENT_PHASES",
+    "FailureSchedule",
+    "IDEMPOTENT_KINDS",
+    "InvariantChecker",
+    "InvariantViolation",
+    "OracleReport",
+    "PHASE_ORDER",
+    "TARGET_PREDICATES",
+    "run_differential",
+    "run_with_chaos",
+    "values_close",
+]

@@ -1,0 +1,127 @@
+"""Differential recovery oracles (DESIGN.md P4, paper Section 5).
+
+The central correctness claim of the paper is that replication-based
+recovery is *transparent*: a run that crashes and recovers converges to
+exactly the state a failure-free run reaches.  The oracle makes that
+claim executable for arbitrary seeded chaos schedules:
+
+1. run the job failure-free (or reuse a cached baseline),
+2. run the *same* ``(graph, algorithm, partitioner, ft-mode)`` job under
+   a :class:`FailureSchedule` with the invariant checker attached,
+3. compare converged vertex values one by one.
+
+Any mismatch or invariant violation is reported with the schedule's
+seed and a one-line reproduction command, so a red run in CI can be
+replayed locally from the printed seed alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.chaos.controller import ChaosController
+from repro.chaos.invariants import InvariantChecker
+from repro.chaos.schedule import FailureSchedule
+from repro.engine.engine import RunResult
+
+
+def values_close(a: Any, b: Any, rel: float = 1e-9) -> bool:
+    """Structural closeness: exact for ints/strs, relative for floats,
+    element-wise for tuples (ALS factor vectors)."""
+    if isinstance(a, tuple) and isinstance(b, tuple):
+        return (len(a) == len(b)
+                and all(values_close(x, y, rel) for x, y in zip(a, b)))
+    if a == b:
+        return True
+    try:
+        return abs(a - b) <= rel * max(abs(a), abs(b))
+    except TypeError:
+        return False
+
+
+@dataclass
+class OracleReport:
+    """Outcome of one differential chaos run."""
+
+    matches: bool
+    schedule: FailureSchedule
+    chaos_result: RunResult
+    mismatches: list[tuple[int, Any, Any]] = field(default_factory=list)
+    invariant_checks: int = 0
+    fired: int = 0
+    expired: int = 0
+    command: str = ""
+
+    @property
+    def recoveries(self) -> int:
+        return len(self.chaos_result.recoveries)
+
+    def summary(self) -> str:
+        """Failure message with everything needed to reproduce."""
+        lines = [
+            f"differential oracle: {len(self.mismatches)} mismatching "
+            f"vertices after {self.recoveries} recoveries "
+            f"({self.fired} chaos events fired, "
+            f"{self.invariant_checks} invariant sweeps)",
+            self.schedule.describe(),
+        ]
+        for gid, chaos_v, base_v in self.mismatches[:5]:
+            lines.append(f"  vertex {gid}: chaos={chaos_v!r} "
+                         f"baseline={base_v!r}")
+        if self.command:
+            lines.append(f"reproduce with: {self.command}")
+        return "\n".join(lines)
+
+
+def run_with_chaos(graph, algorithm, schedule: FailureSchedule, *,
+                   check_invariants: bool = True, context: str = "",
+                   **job_kwargs):
+    """Run one job under a chaos schedule.
+
+    Returns ``(result, controller, checker)``; ``checker`` is ``None``
+    when invariant checking is disabled.  ``job_kwargs`` are passed to
+    :func:`repro.api.make_engine` unchanged.
+    """
+    from repro.api import make_engine
+    engine = make_engine(graph, algorithm, **job_kwargs)
+    controller = ChaosController(schedule).attach(engine)
+    checker = None
+    if check_invariants:
+        checker = InvariantChecker(context=context)
+        engine.attach_chaos(checker)
+    result = engine.run()
+    return result, controller, checker
+
+
+def run_differential(graph, algorithm, schedule: FailureSchedule, *,
+                     baseline: dict[int, Any] | None = None,
+                     rel: float = 1e-9, check_invariants: bool = True,
+                     command: str = "", **job_kwargs) -> OracleReport:
+    """Differential oracle for one ``(job, schedule)`` pair.
+
+    ``baseline`` short-circuits the failure-free run (callers sweeping
+    many schedules over the same job should cache it); ``command`` is
+    the reproduction command embedded in failure reports and invariant
+    violations.
+    """
+    if baseline is None:
+        from repro.api import run_job
+        baseline = run_job(graph, algorithm, **job_kwargs).values
+    context = command or schedule.describe()
+    result, controller, checker = run_with_chaos(
+        graph, algorithm, schedule, check_invariants=check_invariants,
+        context=context, **job_kwargs)
+    mismatches = [(gid, result.values.get(gid), base_v)
+                  for gid, base_v in baseline.items()
+                  if not values_close(result.values.get(gid), base_v, rel)]
+    return OracleReport(
+        matches=not mismatches,
+        schedule=schedule,
+        chaos_result=result,
+        mismatches=mismatches,
+        invariant_checks=checker.checks if checker else 0,
+        fired=len(controller.fired_events),
+        expired=len(controller.expired_events),
+        command=command,
+    )

@@ -1,0 +1,209 @@
+"""Deterministic failure-schedule DSL for chaos testing.
+
+A :class:`FailureSchedule` is a declarative, fully seeded description of
+every fault injected into one run: fail-stop crashes pinned to an
+iteration and an engine phase, with targets picked by id or by predicate
+(most-loaded, mirror-heaviest, ...), plus message-level fault
+probabilities (duplicate / delay / drop) applied by the network's fault
+injector.  Everything derives from a single integer seed, so any failing
+run is reproducible from that seed alone.
+
+Phases (intra-iteration order)
+------------------------------
+``after_commit``    right after the previous barrier commit, before the
+                    superstep (detected leaving the barrier, no rollback);
+``superstep_start`` the superstep began, nothing computed yet;
+``gather``          mid-compute — a prefix of the nodes computed and sent
+                    (edge-cut) / partial gathers are in flight (vertex-cut);
+``sync``            all compute done, sync messages in flight;
+``barrier``         entering the global barrier, just before detection;
+``recovery``        while recovery of an earlier crash is in progress
+                    (merged into one larger simultaneous failure).
+
+Safety envelope: the random generator never schedules more crashes into
+one iteration than ``max_concurrent`` (the fault-tolerance level K for
+replication modes) — more would *correctly* be unrecoverable and prove
+nothing — and message drops are off by default because silently losing a
+message from a healthy node violates the paper's fail-stop model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigError
+from repro.utils.rng import SeededRng
+
+#: Crash phases in intra-iteration order (``after_commit`` of iteration
+#: *i* happens before the compute of iteration *i*).
+CRASH_PHASES = ("after_commit", "superstep_start", "gather", "sync",
+                "barrier")
+#: All phases accepted by events, including the recovery-concurrent one.
+EVENT_PHASES = CRASH_PHASES + ("recovery",)
+#: Target predicates resolved against live engine state at fire time.
+TARGET_PREDICATES = ("random", "most-loaded", "least-loaded",
+                     "mirror-heaviest", "standby")
+#: Message-fault actions the network understands.
+MESSAGE_ACTIONS = ("drop", "duplicate", "delay")
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One fail-stop crash injection point."""
+
+    #: Engine iteration at which the event fires (for ``after_commit``
+    #: this is the iteration *about to run*, matching
+    #: ``Engine.schedule_failure`` semantics).
+    iteration: int
+    #: One of :data:`EVENT_PHASES`.
+    phase: str = "gather"
+    #: A concrete node id, or a predicate from :data:`TARGET_PREDICATES`.
+    target: int | str = "random"
+    #: Number of nodes crashed simultaneously by this event.
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.iteration < 0:
+            raise ConfigError(
+                f"event iteration must be >= 0, got {self.iteration}")
+        if self.phase not in EVENT_PHASES:
+            raise ConfigError(
+                f"unknown chaos phase {self.phase!r}; "
+                f"choices: {EVENT_PHASES}")
+        if self.count < 1:
+            raise ConfigError(f"event count must be >= 1, got {self.count}")
+        if isinstance(self.target, str) \
+                and self.target not in TARGET_PREDICATES:
+            raise ConfigError(
+                f"unknown target predicate {self.target!r}; "
+                f"choices: {TARGET_PREDICATES}")
+
+    def describe(self) -> str:
+        return (f"crash(it={self.iteration}, {self.phase}, "
+                f"{self.target}×{self.count})")
+
+
+@dataclass
+class FailureSchedule:
+    """A deterministic set of faults for one run."""
+
+    seed: int = 0
+    events: list[ChaosEvent] = field(default_factory=list)
+    #: Probability that an idempotent message is sent twice.
+    duplicate_prob: float = 0.0
+    #: Probability that a message is delivered late (end of the batch).
+    delay_prob: float = 0.0
+    #: Probability that a message is silently dropped.  Unsafe outside
+    #: the fail-stop model — only for targeted accounting tests.
+    drop_prob: float = 0.0
+
+    # -- builder API ----------------------------------------------------
+
+    def crash(self, iteration: int, *, phase: str = "gather",
+              target: int | str = "random",
+              count: int = 1) -> "FailureSchedule":
+        """Add one crash event; returns self for chaining."""
+        self.events.append(ChaosEvent(iteration, phase, target, count))
+        return self
+
+    def with_message_faults(self, *, duplicate: float = 0.0,
+                            delay: float = 0.0,
+                            drop: float = 0.0) -> "FailureSchedule":
+        """Set message-level fault probabilities; returns self."""
+        for name, p in (("duplicate", duplicate), ("delay", delay),
+                        ("drop", drop)):
+            if not 0.0 <= p <= 1.0:
+                raise ConfigError(f"{name} probability must be in [0, 1]")
+        self.duplicate_prob = duplicate
+        self.delay_prob = delay
+        self.drop_prob = drop
+        return self
+
+    # -- views ----------------------------------------------------------
+
+    @property
+    def total_crashes(self) -> int:
+        """Worker crashes over the whole schedule (sizes the standby
+        pool for Rebirth / checkpoint recovery)."""
+        return sum(e.count for e in self.events if e.target != "standby")
+
+    @property
+    def message_faults_enabled(self) -> bool:
+        return bool(self.duplicate_prob or self.delay_prob
+                    or self.drop_prob)
+
+    def describe(self) -> str:
+        """One-line, seed-first summary (printed on oracle failures)."""
+        parts = [f"seed={self.seed}"]
+        parts.extend(e.describe() for e in self.events)
+        if self.message_faults_enabled:
+            parts.append(f"msg(dup={self.duplicate_prob:g}, "
+                         f"delay={self.delay_prob:g}, "
+                         f"drop={self.drop_prob:g})")
+        return "FailureSchedule[" + ", ".join(parts) + "]"
+
+    # -- generation -----------------------------------------------------
+
+    @classmethod
+    def random(cls, seed: int, *, max_iterations: int,
+               max_concurrent: int = 1, max_events: int = 2,
+               recovery_phase: bool = True,
+               message_faults: bool = True) -> "FailureSchedule":
+        """Deterministically derive a schedule from a seed.
+
+        ``max_concurrent`` bounds the crashes injected into any single
+        iteration — all crashes of one iteration can merge into one
+        simultaneous-failure event at the barrier, so this must not
+        exceed the fault-tolerance level K the run is configured with.
+        ``max_iterations`` should be the window of iterations the job is
+        expected to actually execute (events beyond the run's end simply
+        never fire).
+        """
+        if max_iterations < 1:
+            raise ConfigError("max_iterations must be >= 1")
+        if max_concurrent < 1:
+            raise ConfigError("max_concurrent must be >= 1")
+        rng = SeededRng(seed, "failure-schedule")
+        sched = cls(seed=seed)
+        num_events = rng.randint(1, max(1, max_events))
+        budget = {}  # iteration -> crashes already scheduled there
+        predicates = ["random", "random", "most-loaded", "least-loaded",
+                      "mirror-heaviest"]
+        for _ in range(num_events):
+            iteration = rng.randint(0, max_iterations - 1)
+            left = max_concurrent - budget.get(iteration, 0)
+            if left < 1:
+                continue
+            phase = rng.choice(CRASH_PHASES)
+            if phase == "after_commit" and iteration == 0:
+                # No commit precedes iteration 0.
+                phase = "superstep_start"
+            count = rng.randint(1, left)
+            target = rng.choice(predicates)
+            sched.crash(iteration, phase=phase, target=target, count=count)
+            budget[iteration] = budget.get(iteration, 0) + count
+            # Optionally pile a concurrent crash onto the recovery of
+            # this one (Section 5.3.2), budget permitting.
+            if (recovery_phase and phase != "after_commit"
+                    and budget[iteration] < max_concurrent
+                    and rng.random() < 0.25):
+                sched.crash(iteration, phase="recovery",
+                            target=rng.choice(predicates), count=1)
+                budget[iteration] += 1
+        if not sched.events:
+            sched.crash(rng.randint(0, max_iterations - 1),
+                        phase="gather", target="random", count=1)
+        if message_faults:
+            sched.with_message_faults(
+                duplicate=rng.choice([0.0, 0.1, 0.25]),
+                delay=rng.choice([0.0, 0.1, 0.25]))
+        return sched
+
+    def scaled_to(self, max_concurrent: int) -> "FailureSchedule":
+        """A copy whose per-event crash counts fit a smaller K."""
+        events = [replace(e, count=min(e.count, max_concurrent))
+                  for e in self.events]
+        return FailureSchedule(seed=self.seed, events=events,
+                               duplicate_prob=self.duplicate_prob,
+                               delay_prob=self.delay_prob,
+                               drop_prob=self.drop_prob)

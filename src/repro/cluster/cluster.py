@@ -38,7 +38,8 @@ class Cluster:
         self.detector = FailureDetector(
             self.nodes,
             interval_s=self.config.heartbeat_interval_s,
-            misses=self.config.heartbeat_misses)
+            misses=self.config.heartbeat_misses,
+            members=lambda: self.coordination.members)
         self.store = PersistentStore(in_memory=store_in_memory)
         self.clocks = NodeClocks(len(self.nodes))
         for nid in range(n):

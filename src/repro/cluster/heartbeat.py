@@ -15,14 +15,22 @@ delay ``interval * misses`` added once per failure event, matching the
 
 from __future__ import annotations
 
+from typing import Callable, Iterable
+
 from repro.cluster.node import Node
 
 
 class FailureDetector:
-    """Central-master heartbeat detector over simulated nodes."""
+    """Central-master heartbeat detector over simulated nodes.
+
+    ``members`` (optional) restricts detection to nodes registered in
+    the barrier group: an unclaimed standby that dies is a spare going
+    bad, not a computation failure, and must not trigger recovery.
+    """
 
     def __init__(self, nodes: dict[int, Node], interval_s: float = 0.5,
-                 misses: int = 14):
+                 misses: int = 14,
+                 members: Callable[[], Iterable[int]] | None = None):
         if interval_s <= 0:
             raise ValueError("heartbeat interval must be positive")
         if misses < 1:
@@ -30,6 +38,7 @@ class FailureDetector:
         self._nodes = nodes
         self.interval_s = interval_s
         self.misses = misses
+        self._members = members
         self._known_failed: set[int] = set()
 
     @property
@@ -38,8 +47,23 @@ class FailureDetector:
         return self.interval_s * self.misses
 
     def poll(self) -> set[int]:
-        """Return the set of members currently observed as crashed."""
-        return {nid for nid, node in self._nodes.items() if node.is_crashed}
+        """Return the set of members currently observed as crashed.
+
+        Idempotent across recovery: a logical id that heartbeats again
+        (its slot was re-used by a standby during Rebirth) is cleared
+        from the known-failed record, so a *later* crash of the same id
+        is reported as a fresh failure even if :meth:`forget` was never
+        called.
+        """
+        failed: set[int] = set()
+        for nid, node in self._nodes.items():
+            if node.is_crashed:
+                failed.add(nid)
+            elif node.is_alive:
+                self._known_failed.discard(nid)
+        if self._members is not None:
+            failed &= set(self._members())
+        return failed
 
     def newly_failed(self) -> set[int]:
         """Crashes observed since the previous call (edge-triggered)."""

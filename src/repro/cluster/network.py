@@ -81,6 +81,10 @@ class Network:
     def __init__(self, is_alive: Callable[[int], bool]):
         self._is_alive = is_alive
         self._queues: dict[int, list[Message]] = defaultdict(list)
+        #: Messages held back by a ``delay`` fault verdict; merged at the
+        #: back of the destination's inbox on the next ``deliver`` (late
+        #: arrival within the same barrier window).
+        self._delayed: dict[int, list[Message]] = defaultdict(list)
         # step-scoped counters (reset by begin_step)
         self.step_bytes: dict[int, dict[int, int]] = \
             defaultdict(lambda: defaultdict(int))
@@ -89,6 +93,19 @@ class Network:
         # lifetime counters
         self.totals = TrafficStats()
         self.dropped_msgs = 0
+        #: Wire bytes (incl. header) of messages dropped at a dead
+        #: destination; keeps the cost model's traffic accounting honest
+        #: during failure windows.
+        self.dropped_bytes = 0
+        #: Optional fault injector (chaos testing): callable returning a
+        #: verdict for each remote message — ``"deliver"`` (default),
+        #: ``"drop"``, ``"duplicate"`` or ``"delay"``.
+        self.fault_injector: Callable[[Message], str] | None = None
+        # chaos-injected fault counters
+        self.chaos_dropped_msgs = 0
+        self.chaos_dropped_bytes = 0
+        self.chaos_duplicated_msgs = 0
+        self.chaos_delayed_msgs = 0
 
     # -- step lifecycle -------------------------------------------------
 
@@ -109,22 +126,52 @@ class Network:
             return
         if not self._is_alive(msg.dst):
             self.dropped_msgs += 1
+            self.dropped_bytes += msg.nbytes + BYTES_PER_MSG_HEADER
             return
-        self._queues[msg.dst].append(msg)
-        self.step_bytes[msg.src][msg.dst] += msg.nbytes + BYTES_PER_MSG_HEADER
-        self.step_msgs[msg.src][msg.dst] += 1
-        self.totals.record(msg)
+        copies = 1
+        delayed = False
+        if self.fault_injector is not None:
+            verdict = self.fault_injector(msg)
+            if verdict == "drop":
+                self.chaos_dropped_msgs += 1
+                self.chaos_dropped_bytes += (msg.nbytes
+                                             + BYTES_PER_MSG_HEADER)
+                return
+            if verdict == "duplicate":
+                # A retransmission: both copies cross the wire.
+                copies = 2
+                self.chaos_duplicated_msgs += 1
+            elif verdict == "delay":
+                delayed = True
+                self.chaos_delayed_msgs += 1
+        for _ in range(copies):
+            if delayed:
+                self._delayed[msg.dst].append(msg)
+            else:
+                self._queues[msg.dst].append(msg)
+            self.step_bytes[msg.src][msg.dst] += (msg.nbytes
+                                                  + BYTES_PER_MSG_HEADER)
+            self.step_msgs[msg.src][msg.dst] += 1
+            self.totals.record(msg)
 
     def deliver(self, node_id: int) -> list[Message]:
-        """Drain and return the destination's inbox."""
+        """Drain and return the destination's inbox.
+
+        Delayed (chaos-reordered) messages arrive after the regular
+        batch — late, but still within the same barrier window.
+        """
         if not self._is_alive(node_id):
             raise UnknownNodeError(node_id)
         inbox = self._queues.get(node_id, [])
         self._queues[node_id] = []
+        late = self._delayed.pop(node_id, None)
+        if late:
+            inbox.extend(late)
         return inbox
 
     def peek_inbox_size(self, node_id: int) -> int:
-        return len(self._queues.get(node_id, []))
+        return (len(self._queues.get(node_id, ()))
+                + len(self._delayed.get(node_id, ())))
 
     # -- failure interaction ---------------------------------------------
 
@@ -137,16 +184,19 @@ class Network:
         (Algorithm 1, line 9) and we discard the whole batch.
         """
         purged = 0
-        for dst, queue in self._queues.items():
-            kept = [m for m in queue if m.src != node_id]
-            purged += len(queue) - len(kept)
-            self._queues[dst] = kept
+        for queues in (self._queues, self._delayed):
+            for dst, queue in queues.items():
+                kept = [m for m in queue if m.src != node_id]
+                purged += len(queue) - len(kept)
+                queues[dst] = kept
         return purged
 
     def purge_inbox(self, node_id: int) -> int:
         """Drop messages queued *for* a node (its memory is gone)."""
-        n = len(self._queues.get(node_id, []))
+        n = (len(self._queues.get(node_id, ()))
+             + len(self._delayed.get(node_id, ())))
         self._queues[node_id] = []
+        self._delayed.pop(node_id, None)
         return n
 
     # -- accounting views --------------------------------------------------

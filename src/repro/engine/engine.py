@@ -168,6 +168,9 @@ class Engine:
         # -- runtime state ------------------------------------------------
         self.iteration = 0
         self._failures: list[_ScheduledFailure] = []
+        #: Chaos plugins (fault injectors, invariant checkers); each gets
+        #: ``on_phase(engine, phase)`` at every hook point.
+        self._chaos_plugins: list[Any] = []
         self.iteration_stats: list[IterationStats] = []
         self.recoveries: list[RecoveryStats] = []
         self._halted = False
@@ -185,6 +188,18 @@ class Engine:
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
+
+    def attach_chaos(self, plugin: Any) -> None:
+        """Register a chaos plugin (:mod:`repro.chaos`).
+
+        A plugin exposes ``on_phase(engine, phase)`` and is called at
+        every engine phase hook: ``after_commit``, ``superstep_start``,
+        ``gather``, ``sync``, ``barrier`` (crash-injection points, in
+        intra-iteration order), plus ``post_commit``, ``recovery`` and
+        ``post_recovery`` (observation / concurrent-failure points).
+        Plugins run in attach order.
+        """
+        self._chaos_plugins.append(plugin)
 
     def schedule_failure(self, iteration: int, nodes, phase: str = "compute"
                          ) -> None:
@@ -211,10 +226,12 @@ class Engine:
                 self._recover(failed)
                 continue
             self._commit_barrier()
+            self._chaos_point("post_commit")
             self.iteration += 1
             if self._halted and self.job.engine.halt_on_inactive:
                 break
             self._inject("after_commit")
+            self._chaos_point("after_commit")
             failed = self._leave_barrier()
             if failed:
                 self._recover(failed)
@@ -257,6 +274,9 @@ class Engine:
                 slot.last_update_iter = -1
                 if slot.is_master:
                     slot.replicas_known_active = slot.active
+                    # Masters mirror their own committed self-activity so
+                    # recovery snapshots of mirror state stay truthful.
+                    slot.mirror_self_active = slot.active
                 if slot.is_mirror:
                     slot.mirror_self_active = slot.active
 
@@ -318,6 +338,15 @@ class Engine:
     def _alive(self) -> list[int]:
         return self.cluster.alive_workers()
 
+    def _chaos_point(self, phase: str) -> None:
+        """Invoke every attached chaos plugin at a named phase hook."""
+        for plugin in self._chaos_plugins:
+            plugin.on_phase(self, phase)
+
+    def _filter_alive(self, nodes: list[int]) -> list[int]:
+        """Drop nodes a chaos plugin crashed since the list was taken."""
+        return [n for n in nodes if self.cluster.node(n).is_alive]
+
     def _mark_dirty(self, node: int, slot: VertexSlot) -> None:
         self._dirty[node][slot.gid] = slot
 
@@ -334,10 +363,16 @@ class Engine:
         start_bytes = net.totals.total_bytes
         start_msgs = net.totals.total_msgs
 
+        self._chaos_point("superstep_start")
+        alive = self._filter_alive(alive)
         if self.is_edge_cut:
             self._edge_cut_compute(alive)
         else:
             self._vertex_cut_compute(alive)
+        # Compute done, all syncs sent but not yet delivered: a crash
+        # here models in-flight message loss during the sync exchange.
+        self._chaos_point("sync")
+        alive = self._filter_alive(alive)
 
         # Advance per-node clocks: framework + compute + batched
         # communication.
@@ -354,6 +389,7 @@ class Engine:
                             net.totals.total_bytes - start_bytes)
 
         # enter_barrier: detect failures (Algorithm 1, line 7).
+        self._chaos_point("barrier")
         failed = tuple(sorted(self.cluster.detector.newly_failed()))
         return failed if failed else None
 
@@ -402,7 +438,14 @@ class Engine:
         ctx = self._ctx()
         program = self.program
         selfish_opt = self.selfish_opt_active
-        for node in alive:
+        # Chaos hook fires mid-loop so a crash lands after a prefix of
+        # the nodes computed and sent their syncs (partial-batch loss).
+        mid = (len(alive) + 1) // 2 if len(alive) > 1 else 0
+        for i, node in enumerate(alive):
+            if i == mid:
+                self._chaos_point("gather")
+            if not self.cluster.node(node).is_alive:
+                continue
             lg = self.local_graphs[node]
             edges = 0
             vertices = 0
@@ -501,6 +544,10 @@ class Engine:
                                      payload.nbytes(
                                          program.acc_nbytes(acc))))
             self._step_edges[node] += edges
+        # Partial gathers are in flight toward the masters: a crash here
+        # loses both the crashed node's partials and its inbox.
+        self._chaos_point("gather")
+        alive = self._filter_alive(alive)
         for node in alive:
             for msg in net.deliver(node):
                 partials[node][msg.payload.gid].append(
@@ -612,6 +659,10 @@ class Engine:
             for slot in self._dirty[node].values():
                 if slot.is_master:
                     self_part = slot.has_pending and slot.pending_active
+                    if slot.has_pending:
+                        # Track the self-active flag the mirrors just
+                        # received, so recovery can rebuild them.
+                        slot.mirror_self_active = slot.pending_active
                     lg.set_active(slot, bool(self_part or slot.next_active))
                     if (not self.is_edge_cut
                             and slot.active != slot.replicas_known_active):
@@ -677,6 +728,14 @@ class Engine:
         self._dirty = {}
 
     def _recover(self, failed: tuple[int, ...]) -> None:
+        # A crash while recovery is in progress is detected before the
+        # protocol commits and handled as one larger simultaneous
+        # failure (Section 5.3.2: failures during recovery restart
+        # recovery).
+        self._chaos_point("recovery")
+        extra = self.cluster.detector.newly_failed()
+        if extra:
+            failed = tuple(sorted(set(failed) | set(extra)))
         mode = self.job.ft.mode
         detection = self.cluster.detector.detection_delay_s
         alive = self._alive()
@@ -711,6 +770,7 @@ class Engine:
             self.cluster.clocks.advance(node, outcome.stats.total_s)
         post = self.cluster.clocks.barrier(self.model, participants)
         self._last_barrier_clock = post
+        self._chaos_point("post_recovery")
 
     def _refresh_broadcast_state(self) -> None:
         """Re-derive the vertex-cut activity-broadcast queue.

@@ -107,6 +107,16 @@ class RecoveredVertex:
     ft_only: bool = False
     selfish: bool = False
     mirror_id: int = -1
+    #: The master's committed self-sustained activity (what a live
+    #: mirror's ``mirror_self_active`` holds) — distinct from ``active``,
+    #: which includes remote activations / broadcast state.
+    self_active: bool = False
+    #: The activity flag the replicas collectively believe (vertex-cut
+    #: broadcast state); restored into ``replicas_known_active``.
+    known_active: bool = False
+    #: Iteration of the vertex's last committed update, preserved so a
+    #: later recovery replays exactly the activations that were lost.
+    last_update_iter: int = -1
     #: (src_gid, src_position, weight) triples; None unless an
     #: edge-cut master/mirror is being recovered.
     full_edges: list[tuple[int, int, float]] | None = None

@@ -69,6 +69,9 @@ def snapshot_master_full_state(lg: LocalGraph, slot: VertexSlot,
         master_node=slot.meta.master_node,
         ft_only=False,
         selfish=slot.selfish,
+        self_active=slot.mirror_self_active,
+        known_active=slot.active,
+        last_update_iter=slot.last_update_iter,
         full_edges=full_edges,
         replica_positions=dict(slot.meta.replica_positions),
         mirror_nodes=list(slot.meta.mirror_nodes),
@@ -78,20 +81,36 @@ def snapshot_master_full_state(lg: LocalGraph, slot: VertexSlot,
 
 def snapshot_replica_state(master_lg: LocalGraph, master_slot: VertexSlot,
                            replica_node: int, position: int,
-                           edge_cut: bool) -> RecoveredVertex:
-    """Package a replica/mirror copy for recovery (from its master)."""
+                           edge_cut: bool,
+                           from_mirror: bool = False) -> RecoveredVertex:
+    """Package a replica/mirror copy for recovery (from its master).
+
+    With ``from_mirror`` the caller is a surviving *mirror* recovering a
+    copy on the dead master's behalf; the edge backup must then come
+    from the mirror's ``full_edges`` (already expressed in master-node
+    positions) — the mirror's local ``in_edges`` use its own node's
+    positions and would corrupt the rebuilt copy.
+    """
     meta = master_slot.meta
     is_mirror = replica_node in meta.mirror_nodes
     full_edges = None
     if edge_cut and is_mirror:
-        full_edges = [(master_lg.slots[pos].gid, pos, weight)
-                      for pos, weight in master_slot.in_edges]
+        if from_mirror:
+            full_edges = (list(master_slot.full_edges)
+                          if master_slot.full_edges is not None else None)
+        else:
+            full_edges = [(master_lg.slots[pos].gid, pos, weight)
+                          for pos, weight in master_slot.in_edges]
+    # On a mirror slot ``replicas_known_active`` is a master-only field;
+    # the mirror's own ``active`` flag is the shared broadcast state.
+    known = (master_slot.active if from_mirror
+             else master_slot.replicas_known_active)
     return RecoveredVertex(
         gid=master_slot.gid,
         role=Role.MIRROR.value if is_mirror else Role.REPLICA.value,
         position=position,
         value=master_slot.value,
-        active=master_slot.replicas_known_active,
+        active=known,
         last_activates=master_slot.last_activates,
         out_degree=master_slot.out_degree,
         in_degree=master_slot.in_degree,
@@ -100,6 +119,9 @@ def snapshot_replica_state(master_lg: LocalGraph, master_slot: VertexSlot,
         selfish=master_slot.selfish,
         mirror_id=(meta.mirror_nodes.index(replica_node)
                    if is_mirror else -1),
+        self_active=master_slot.mirror_self_active,
+        known_active=known,
+        last_update_iter=master_slot.last_update_iter,
         full_edges=full_edges,
         replica_positions=(dict(meta.replica_positions)
                            if is_mirror else None),
@@ -134,7 +156,7 @@ def place_recovered_vertex(lg: LocalGraph, rv: RecoveredVertex,
         value=rv.value,
         active=rv.active,
         last_activates=rv.last_activates,
-        last_update_iter=last_commit if rv.last_activates else -1,
+        last_update_iter=min(rv.last_update_iter, last_commit),
         out_degree=rv.out_degree,
         in_degree=rv.in_degree,
         master_node=rv.master_node,
@@ -145,9 +167,10 @@ def place_recovered_vertex(lg: LocalGraph, rv: RecoveredVertex,
                     if rv.full_edges is not None else None),
     )
     if role is Role.MASTER:
-        slot.replicas_known_active = rv.active
+        slot.replicas_known_active = rv.known_active
+        slot.mirror_self_active = rv.self_active
     if role is Role.MIRROR:
-        slot.mirror_self_active = rv.active
+        slot.mirror_self_active = rv.self_active
     if rv.replica_positions is not None:
         slot.meta = MasterMeta(
             replica_positions=dict(rv.replica_positions),
@@ -350,7 +373,7 @@ def restore_ft_level(engine: "Engine", gids: list[int],
             mirror_slot = engine.local_graphs[node].slot_of(gid)
             mirror_slot.role = Role.MIRROR
             mirror_slot.mirror_id = meta.mirror_nodes.index(node)
-            mirror_slot.mirror_self_active = master_slot.active
+            mirror_slot.mirror_self_active = master_slot.mirror_self_active
             mirror_slot.meta = MasterMeta(
                 replica_positions=dict(meta.replica_positions),
                 mirror_nodes=list(meta.mirror_nodes),

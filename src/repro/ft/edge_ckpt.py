@@ -99,6 +99,19 @@ class EdgeCkptStore:
         payload = self.store.read(path)
         return list(payload)
 
+    def receivers(self, owner_node: int) -> list[int]:
+        """Receiver ids with an existing file for this owner, sorted.
+
+        Receivers are fixed at write time; after repeated migrations
+        some of them may be long dead, so recovery must enumerate the
+        files rather than assume one per currently-alive node.
+        """
+        ids = []
+        prefix = f"edge-ckpt/node{owner_node}/file"
+        for path in self.store.listdir(f"edge-ckpt/node{owner_node}"):
+            ids.append(int(path[len(prefix):]))
+        return sorted(ids)
+
     def read_all(self, owner_node: int) -> list[EdgeRecord]:
         """Every edge of a crashed node (Rebirth reloads them all)."""
         records: list[EdgeRecord] = []

@@ -81,7 +81,7 @@ class MigrationRecovery:
         lost_mirror_gids: list[int] = []
         for node in survivors:
             lg = engine.local_graphs[node]
-            for slot in lg.iter_masters():
+            for slot in lg.iter_slots():
                 meta = slot.meta
                 if meta is None:
                     continue
@@ -90,8 +90,12 @@ class MigrationRecovery:
                         del meta.replica_positions[crashed]
                 survived_mirrors = [n for n in meta.mirror_nodes
                                     if n not in failed_set]
-                if len(survived_mirrors) < len(meta.mirror_nodes):
+                if (slot.is_master
+                        and len(survived_mirrors) < len(meta.mirror_nodes)):
                     lost_mirror_gids.append(slot.gid)
+                # Mirrors' metadata copies must be pruned too: one of
+                # them may be promoted to master in a *later* failure
+                # and would otherwise resurrect dead replica locations.
                 meta.mirror_nodes = survived_mirrors
 
         # ---------------- Reloading: edges ----------------
@@ -298,32 +302,39 @@ class MigrationRecovery:
         dfs_time = 0.0
         linked = 0
         from repro.ft.edge_ckpt import dedupe_edge_records
-        for receiver in survivors:
-            records: list[EdgeRecord] = []
-            nbytes = 0
-            reads = 0
-            for crashed in failed:
+        survivor_set = set(survivors)
+        # Route every existing file of a crashed owner to a surviving
+        # absorber.  Receivers were fixed when the file was written, so
+        # after earlier migrations a file's designated receiver may be
+        # long dead — the lowest survivor absorbs those (and files whose
+        # receiver crashed in this very failure).
+        buckets: dict[int, list[EdgeRecord]] = defaultdict(list)
+        io_cost: dict[int, tuple[int, int]] = defaultdict(lambda: (0, 0))
+        for crashed in failed:
+            for receiver in engine.edge_ckpt.receivers(crashed):
                 part = engine.edge_ckpt.read_file(crashed, receiver)
-                records.extend(part)
-                nbytes += engine.edge_ckpt.file_nbytes(crashed, receiver)
-                reads += 1
-            records = dedupe_edge_records(records)
+                if not part:
+                    continue
+                absorber = (receiver if receiver in survivor_set
+                            else survivors[0])
+                buckets[absorber].extend(part)
+                nbytes, reads = io_cost[absorber]
+                io_cost[absorber] = (
+                    nbytes + engine.edge_ckpt.file_nbytes(crashed, receiver),
+                    reads + 1)
+        # An edge may sit in several files (its receiver changed across
+        # recoveries); reconstruct each exactly once, cluster-wide.
+        applied: set[tuple[int, int]] = set()
+        for absorber in survivors:
+            records = [r for r in dedupe_edge_records(buckets[absorber])
+                       if (r.src, r.dst) not in applied]
+            applied.update((r.src, r.dst) for r in records)
             if records:
-                linked += self._apply_edge_records(receiver, records)
+                linked += self._apply_edge_records(absorber, records,
+                                                   allow_fetch=True)
+            nbytes, reads = io_cost[absorber]
             dfs_time = max(dfs_time, storage_read_time(
                 model, nbytes, max(1, reads), in_memory=False))
-        # Orphan edges: files whose designated receiver also crashed are
-        # re-read by the lowest survivor (rare; multi-failure case).
-        for crashed in failed:
-            for other in failed:
-                if other == crashed:
-                    continue
-                orphans = dedupe_edge_records(
-                    engine.edge_ckpt.read_file(crashed, other))
-                if orphans:
-                    receiver = survivors[0]
-                    linked += self._apply_edge_records(receiver, orphans,
-                                                       allow_fetch=True)
         return dfs_time, linked
 
     def _apply_edge_records(self, node: int, records: list[EdgeRecord],

@@ -104,7 +104,7 @@ class RebirthRecovery:
                                 and replica_node != node:
                             rv = common.snapshot_replica_state(
                                 lg, slot, replica_node, position,
-                                engine.is_edge_cut)
+                                engine.is_edge_cut, from_mirror=True)
                             batch(node, replica_node).vertices.append(rv)
 
         # Detect unrecoverable vertices: masters on crashed nodes whose

@@ -1,4 +1,11 @@
-"""Shared fixtures: small deterministic graphs and engine factories."""
+"""Shared fixtures: small deterministic graphs and engine factories.
+
+Chaos testing (see DESIGN.md, "Chaos testing"):
+
+* ``pytest -m chaos`` selects the seeded chaos sweeps;
+* ``--chaos-seed N`` replays one exact failure schedule — every chaos
+  failure message prints the one-line command to do so.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +14,25 @@ import pytest
 from repro.api import make_engine
 from repro.graph import generators
 from repro.graph.builder import GraphBuilder
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--chaos-seed", type=int, default=None,
+        help="Replay chaos tests with this exact schedule seed "
+             "(printed by failing chaos runs).")
+
+
+@pytest.fixture
+def chaos_seed_override(request):
+    """The ``--chaos-seed`` value, or None for the default sweep."""
+    return request.config.getoption("--chaos-seed")
+
+
+@pytest.fixture(scope="session")
+def chaos_graph():
+    """Deterministic 60-vertex power-law graph for chaos sweeps."""
+    return generators.power_law(60, alpha=2.0, seed=7, name="chaos-pl")
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,135 @@
+"""Differential chaos sweep: every algorithm × partitioning × FT mode.
+
+Each case derives a :class:`FailureSchedule` from a seed, runs the job
+failure-free and under chaos, and asserts the converged values are
+identical (DESIGN.md P4) while the invariant checker re-verifies the
+replication state at every barrier.  72 seeded schedules cover the
+4 algorithms × {edge-cut, vertex-cut} × {Rebirth, Migration,
+checkpoint-baseline} grid with 3 seeds each.
+
+A failing case prints a one-line reproduction command; the schedule is
+fully determined by the printed seed, so
+``pytest tests/test_chaos_matrix.py --chaos-seed <seed> -k <case>``
+replays the exact same crashes and message faults.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import FailureSchedule, run_differential
+from repro.utils.rng import derive_seed
+
+pytestmark = pytest.mark.chaos
+
+ALGORITHMS = ["pagerank", "sssp", "cc", "cd"]
+PARTITIONS = ["hash_edge_cut", "hybrid_cut"]
+FT_MODES = [
+    pytest.param(("replication", "rebirth"), id="rebirth"),
+    pytest.param(("replication", "migration"), id="migration"),
+    pytest.param(("checkpoint", "rebirth"), id="checkpoint"),
+]
+SEED_INDEXES = [0, 1, 2]
+
+#: Crashes per iteration never exceed the run's ft_level: the engine
+#: merges same-iteration crashes into one simultaneous-failure event,
+#: and more than K of those would *correctly* be unrecoverable.
+FT_LEVEL = 2
+MAX_ITERATIONS = 8
+
+# Cached failure-free runs, keyed by the job configuration.
+_baselines: dict[tuple, dict] = {}
+
+
+def _job_kwargs(partition: str, mode: str, recovery: str,
+                total_crashes: int) -> dict:
+    kw = dict(num_nodes=6, ft_mode=mode, recovery=recovery,
+              partition=partition, max_iterations=MAX_ITERATIONS,
+              ft_level=FT_LEVEL,
+              num_standby=0 if recovery == "migration" else total_crashes)
+    if mode == "checkpoint":
+        kw.update(checkpoint_interval=2, checkpoint_in_memory=True)
+    return kw
+
+
+def _baseline(chaos_graph, algorithm: str, kw: dict) -> dict:
+    key = (algorithm,) + tuple(sorted(kw.items()))
+    if key not in _baselines:
+        from repro.api import run_job
+        _baselines[key] = run_job(chaos_graph, algorithm, **kw).values
+    return _baselines[key]
+
+
+@pytest.mark.parametrize("seed_index", SEED_INDEXES)
+@pytest.mark.parametrize("ft", FT_MODES)
+@pytest.mark.parametrize("partition", PARTITIONS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_chaos_differential(chaos_graph, algorithm, partition, ft,
+                            seed_index, chaos_seed_override, request):
+    mode, recovery = ft
+    if chaos_seed_override is not None:
+        seed = chaos_seed_override
+    else:
+        seed = derive_seed(2014 + seed_index, algorithm, partition,
+                           mode, recovery)
+    schedule = FailureSchedule.random(
+        seed, max_iterations=MAX_ITERATIONS - 2,
+        max_concurrent=FT_LEVEL, max_events=2)
+    kw = _job_kwargs(partition, mode, recovery, schedule.total_crashes)
+    command = (f"PYTHONPATH=src python -m pytest "
+               f"tests/test_chaos_matrix.py --chaos-seed {seed} "
+               f"-k '{request.node.name}'")
+    report = run_differential(
+        chaos_graph, algorithm, schedule,
+        baseline=_baseline(chaos_graph, algorithm, kw),
+        command=command, **kw)
+    assert report.fired >= 1, \
+        f"schedule injected nothing: {schedule.describe()}\n{command}"
+    assert report.invariant_checks >= 1
+    assert report.matches, report.summary()
+
+
+@pytest.mark.parametrize("partition", PARTITIONS)
+def test_chaos_double_recovery_rebirth(chaos_graph, partition,
+                                       chaos_seed_override):
+    """A node crashing twice (regression: stale mirror backups)."""
+    seed = chaos_seed_override if chaos_seed_override is not None else 99
+    schedule = (FailureSchedule(seed=seed)
+                .crash(2, phase="sync", target="most-loaded", count=2)
+                .crash(4, phase="after_commit", target="most-loaded"))
+    kw = _job_kwargs(partition, "replication", "rebirth",
+                     schedule.total_crashes)
+    report = run_differential(chaos_graph, "cc", schedule, **kw)
+    assert report.recoveries == 2
+    assert report.matches, report.summary()
+
+
+@pytest.mark.parametrize("partition", PARTITIONS)
+def test_chaos_double_recovery_migration(chaos_graph, partition,
+                                         chaos_seed_override):
+    """Two migrations in a row (regression: dead edge-ckpt receivers)."""
+    seed = chaos_seed_override if chaos_seed_override is not None else 99
+    schedule = (FailureSchedule(seed=seed)
+                .crash(0, phase="superstep_start", target="mirror-heaviest",
+                       count=2)
+                .crash(4, phase="superstep_start", target="random", count=2))
+    kw = _job_kwargs(partition, "replication", "migration",
+                     schedule.total_crashes)
+    report = run_differential(chaos_graph, "pagerank", schedule, **kw)
+    assert report.recoveries == 2
+    assert report.matches, report.summary()
+
+
+def test_chaos_crash_during_recovery(chaos_graph, chaos_seed_override):
+    """A standby crashing mid-recovery merges into a larger failure."""
+    seed = chaos_seed_override if chaos_seed_override is not None else 7
+    schedule = (FailureSchedule(seed=seed)
+                .crash(2, phase="gather", target="random")
+                .crash(2, phase="recovery", target="random"))
+    kw = _job_kwargs("hash_edge_cut", "replication", "rebirth",
+                     schedule.total_crashes)
+    report = run_differential(chaos_graph, "sssp", schedule, **kw)
+    assert report.matches, report.summary()
+    # Both crashes were handled by a single (merged) recovery pass.
+    assert report.recoveries == 1
+    assert len(report.chaos_result.recoveries[0].failed_nodes) == 2

@@ -44,6 +44,18 @@ class TestSendDeliver:
         net, alive = make_net({0, 1})
         net.send(Message(MessageKind.SYNC, 0, 2, "x", 8))
         assert net.dropped_msgs == 1
+        assert net.dropped_bytes == 8 + BYTES_PER_MSG_HEADER
+
+    def test_dropped_bytes_accumulate_and_stay_out_of_totals(self):
+        net, _ = make_net({0, 1})
+        net.begin_step()
+        net.send(Message(MessageKind.SYNC, 0, 2, "x", 8))
+        net.send(Message(MessageKind.GATHER, 1, 2, "yy", 24))
+        assert net.dropped_msgs == 2
+        assert net.dropped_bytes == 8 + 24 + 2 * BYTES_PER_MSG_HEADER
+        # Dropped traffic never pollutes the delivered-bytes accounting.
+        assert net.totals.total_bytes == 0
+        assert net.step_bytes_sent_by(0) == 0
 
     def test_deliver_to_dead_node_raises(self):
         net, _ = make_net({0})
@@ -68,6 +80,38 @@ class TestPurges:
         net, _ = make_net()
         net.send(Message(MessageKind.SYNC, 0, 1, "a", 8))
         assert net.purge_inbox(1) == 1
+        assert net.deliver(1) == []
+
+    def test_purge_empty_queues_is_noop(self):
+        net, _ = make_net()
+        assert net.purge_from(0) == 0
+        assert net.purge_inbox(1) == 0
+        # Queues stay usable after purging nothing.
+        net.send(Message(MessageKind.SYNC, 0, 1, "a", 8))
+        assert len(net.deliver(1)) == 1
+
+    def test_purge_from_drops_self_addressed(self):
+        # A crashed node's memory is gone, including messages it queued
+        # to itself via the local fast path.
+        net, _ = make_net()
+        net.send(Message(MessageKind.SYNC, 0, 0, "self", 8))
+        assert net.purge_from(0) == 1
+        assert net.peek_inbox_size(0) == 0
+
+    def test_double_purge_idempotent(self):
+        net, _ = make_net()
+        net.send(Message(MessageKind.SYNC, 0, 1, "a", 8))
+        net.send(Message(MessageKind.SYNC, 0, 2, "b", 8))
+        assert net.purge_from(0) == 2
+        assert net.purge_from(0) == 0
+        assert net.purge_inbox(1) == 0
+
+    def test_purge_covers_delayed_messages(self):
+        net, _ = make_net()
+        net.fault_injector = lambda msg: "delay"
+        net.send(Message(MessageKind.SYNC, 0, 1, "late", 8))
+        assert net.peek_inbox_size(1) == 1
+        assert net.purge_from(0) == 1
         assert net.deliver(1) == []
 
 

@@ -42,7 +42,8 @@ class TestPlaceRecoveredVertex:
                         active=True, last_activates=True, out_degree=1,
                         in_degree=2, master_node=0,
                         replica_positions={1: 0}, mirror_nodes=[1],
-                        master_position=2)
+                        master_position=2, self_active=True,
+                        known_active=True, last_update_iter=4)
         defaults.update(kw)
         return RecoveredVertex(**defaults)
 
@@ -53,15 +54,24 @@ class TestPlaceRecoveredVertex:
         assert slot.role is Role.MASTER
         assert slot.value == 1.5
         assert slot.active
-        assert slot.last_update_iter == 4  # stamped: it activated
+        assert slot.last_update_iter == 4  # shipped verbatim
         assert slot.meta.replica_positions == {1: 0}
         assert lg.active_masters == {3}
 
-    def test_unstamped_when_no_activation(self):
+    def test_unstamped_when_never_updated(self):
         lg = LocalGraph(0)
         slot = place_recovered_vertex(
-            lg, self.make_rv(last_activates=False), last_commit=4)
+            lg, self.make_rv(last_activates=False, last_update_iter=-1),
+            last_commit=4)
         assert slot.last_update_iter == -1
+
+    def test_stamp_clamped_to_last_commit(self):
+        # A snapshot can never legitimately claim an update from an
+        # uncommitted iteration; the clamp keeps replay sound.
+        lg = LocalGraph(0)
+        slot = place_recovered_vertex(
+            lg, self.make_rv(last_update_iter=9), last_commit=4)
+        assert slot.last_update_iter == 4
 
     def test_mirror_fields(self):
         lg = LocalGraph(1)
