@@ -17,7 +17,11 @@ simulated seconds land in the paper's range.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+import os
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
 from typing import Any
 
 from repro.api import make_engine
@@ -30,6 +34,63 @@ from repro.metrics.report import execution_time
 NUM_NODES = 50
 
 _CACHE: dict[tuple, tuple[Engine, RunResult]] = {}
+#: Wall-clock of the original execution, reported again on cache hits.
+_WALL: dict[tuple, float] = {}
+
+# ---------------------------------------------------------------------------
+# machine-readable results (BENCH_<figure>.json)
+# ---------------------------------------------------------------------------
+
+#: Repo root — BENCH files land next to pyproject.toml.
+_BENCH_DIR = Path(__file__).resolve().parent.parent
+
+#: figure -> {spec key -> result record}; flushed on every new record.
+_BENCH: dict[str, dict[tuple, dict[str, Any]]] = {}
+
+
+def _current_figure() -> str:
+    """Figure name from the running test module (``fig07``, ``tab02``...).
+
+    Falls back to ``adhoc`` outside pytest, so direct harness use still
+    records results.
+    """
+    test = os.environ.get("PYTEST_CURRENT_TEST", "")
+    if test:
+        module = Path(test.split("::", 1)[0]).stem
+        return module[len("test_"):] if module.startswith("test_") else module
+    return "adhoc"
+
+
+def _bench_record(spec: RunSpec, engine: Engine, result: RunResult,
+                  wall_s: float) -> None:
+    """Attribute one (possibly cached) execution to the current figure."""
+    figure = _current_figure()
+    per_figure = _BENCH.setdefault(figure, {})
+    if spec.key() in per_figure:
+        return
+    totals = engine.cluster.network.totals
+    per_figure[spec.key()] = {
+        "spec": asdict(spec),
+        "sim_time_s": result.total_sim_time_s,
+        "wall_time_s": wall_s,
+        "iterations": result.num_iterations,
+        "messages": result.total_messages,
+        "bytes": result.total_bytes,
+        "traffic_by_kind": {
+            kind.value: {"msgs": totals.msgs_by_kind[kind],
+                         "bytes": totals.bytes_by_kind[kind]}
+            for kind in sorted(totals.msgs_by_kind, key=lambda k: k.value)},
+        "recoveries": [
+            {"strategy": r.strategy, "at_iteration": r.at_iteration,
+             "failed_nodes": list(r.failed_nodes),
+             "reload_s": r.reload_s, "reconstruct_s": r.reconstruct_s,
+             "replay_s": r.replay_s, "detection_s": r.detection_s,
+             "recovery_bytes": r.recovery_bytes}
+            for r in result.recoveries],
+    }
+    path = _BENCH_DIR / f"BENCH_{figure}.json"
+    payload = {"figure": figure, "runs": list(per_figure.values())}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 @dataclass(frozen=True)
@@ -87,10 +148,17 @@ def algorithm_kwargs(dataset: str, algorithm: str) -> dict[str, Any]:
 
 
 def execute(spec: RunSpec) -> tuple[Engine, RunResult]:
-    """Run (or fetch) one configuration."""
+    """Run (or fetch) one configuration.
+
+    Every call — cache hit or not — is recorded in the current
+    figure's ``BENCH_<figure>.json``, so each figure's file lists all
+    the runs it depends on even when another figure executed them.
+    """
     key = spec.key()
     if key in _CACHE:
-        return _CACHE[key]
+        engine, result = _CACHE[key]
+        _bench_record(spec, engine, result, _WALL.get(key, 0.0))
+        return engine, result
     graph = load_dataset(spec.dataset)
     kwargs = dict(spec.algo_kwargs) or algorithm_kwargs(spec.dataset,
                                                         spec.algorithm)
@@ -111,8 +179,12 @@ def execute(spec: RunSpec) -> tuple[Engine, RunResult]:
     )
     for failure in spec.failures:
         engine.schedule_failure(*failure)
+    start = time.perf_counter()
     result = engine.run()
+    wall_s = time.perf_counter() - start
     _CACHE[key] = (engine, result)
+    _WALL[key] = wall_s
+    _bench_record(spec, engine, result, wall_s)
     return engine, result
 
 

@@ -5,15 +5,23 @@ machine mid-run, and watch Imitator recover it from replicas.
 Run with::
 
     python examples/quickstart.py
+    python examples/quickstart.py --trace   # also dump phase traces
+
+``--trace`` writes ``quickstart.trace.jsonl`` (one event per line) and
+``quickstart.trace.json`` (Chrome ``trace_event`` format — open in
+chrome://tracing or https://ui.perfetto.dev) for the failure run.
 """
 
 from __future__ import annotations
 
-from repro import run_job
+import sys
+
+from repro import make_engine, run_job
 from repro.graph import generators
+from repro.obs import Tracer
 
 
-def main() -> None:
+def main(trace: bool = False) -> None:
     # A small power-law web graph; 10% of vertices are "selfish"
     # (no out-edges), the case Section 4.4 of the paper optimises.
     graph = generators.power_law(2_000, alpha=2.0, seed=7,
@@ -30,14 +38,28 @@ def main() -> None:
     # Same job, but node 3 crashes during iteration 5.  Imitator
     # detects the failure at the global barrier, reconstructs node 3's
     # vertices on a standby machine (Rebirth) and the job continues.
-    recovered = run_job(graph, "pagerank", num_nodes=16,
-                        max_iterations=10, recovery="rebirth",
-                        failures=[(5, [3])])
+    tracer = Tracer(enabled=trace)
+    engine = make_engine(graph, "pagerank", num_nodes=16,
+                         max_iterations=10, recovery="rebirth",
+                         tracer=tracer)
+    engine.schedule_failure(5, [3])
+    recovered = engine.run()
     stats = recovered.recoveries[0]
     print(f"\nwith failure: recovered {stats.vertices_recovered} "
           f"vertices of node {stats.failed_nodes[0]} in "
           f"{stats.total_s:.3f}s simulated "
           f"(reload {stats.reload_s:.3f}s, replay {stats.replay_s:.3f}s)")
+
+    if trace:
+        tracer.write_jsonl("quickstart.trace.jsonl")
+        tracer.write_chrome_trace("quickstart.trace.json")
+        top = tracer.top_level_spans()
+        tiled = sum(s["dur_sim_s"] for s in top)
+        print(f"\ntrace: {len(tracer.events)} events, "
+              f"{len(top)} top-level spans tiling "
+              f"{tiled:.2f}s of {recovered.total_sim_time_s:.2f}s")
+        print("wrote quickstart.trace.jsonl and quickstart.trace.json "
+              "(load the latter in chrome://tracing)")
 
     # Recovery is exact: every final rank matches the baseline.
     worst = max(abs(recovered.values[v] - base.values[v])
@@ -52,4 +74,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    main(trace="--trace" in sys.argv[1:])

@@ -29,6 +29,7 @@ from repro.engine.engine import Engine, RunResult
 from repro.engine.vertex_program import VertexProgram
 from repro.errors import ConfigError
 from repro.graph.graph import Graph
+from repro.obs import Tracer
 
 
 def make_program(algorithm: str | VertexProgram, graph: Graph,
@@ -66,7 +67,8 @@ def make_engine(graph: Graph, algorithm: str | VertexProgram,
                 seed: int = 2014,
                 data_scale: float = 1.0,
                 algorithm_kwargs: dict[str, Any] | None = None,
-                cluster: Cluster | None = None) -> Engine:
+                cluster: Cluster | None = None,
+                tracer: Tracer | None = None) -> Engine:
     """Build a fully wired :class:`Engine` from keyword-level options.
 
     ``data_scale`` projects data-proportional simulated costs to the
@@ -101,7 +103,7 @@ def make_engine(graph: Graph, algorithm: str | VertexProgram,
         cluster = Cluster(job.cluster, cost_model=model,
                           store_in_memory=job.ft.checkpoint_in_memory)
     program = make_program(algorithm, graph, **(algorithm_kwargs or {}))
-    return Engine(graph, program, job=job, cluster=cluster)
+    return Engine(graph, program, job=job, cluster=cluster, tracer=tracer)
 
 
 def run_job(graph: Graph, algorithm: str | VertexProgram,

@@ -95,6 +95,11 @@ class ChaosController:
         targets = self.resolve_targets(engine, event)
         for node in targets:
             engine.cluster.crash(node)
+        engine.tracer.instant("chaos.crash", cat="chaos",
+                              iteration=engine.iteration,
+                              phase=event.phase, targets=targets)
+        engine.metrics.inc("chaos.crash_events")
+        engine.metrics.inc("chaos.crashed_nodes", len(targets))
         self.log.append(
             f"it={engine.iteration} {event.describe()} -> {targets}")
 

@@ -9,17 +9,26 @@ totals that back the paper's communication-cost tables (Table 6).
 Fail-stop interaction: a message addressed to a crashed node is dropped
 (counted in ``dropped_msgs``); when a node crashes, its not-yet-delivered
 outgoing messages are purged — exactly the "messages from crashed nodes
-may be lost" situation that forces the rollback in Algorithm 1.
+may be lost" situation that forces the rollback in Algorithm 1.  Purged
+traffic is deducted from the *step* counters (the barrier must not
+charge comm time for bytes that never completed the exchange) but stays
+in the lifetime totals (those bytes did cross the wire).
+
+Counters live in a :class:`repro.obs.MetricsRegistry` under the
+``net.*`` namespace; the legacy attribute names (``dropped_msgs``,
+``chaos_duplicated_msgs``, ...) are registry-backed views.
 """
 
 from __future__ import annotations
 
+import copy
 import enum
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import UnknownNodeError
+from repro.obs.registry import MetricsRegistry
 from repro.utils.sizing import BYTES_PER_MSG_HEADER
 
 
@@ -78,7 +87,8 @@ class TrafficStats:
 class Network:
     """In-memory batched transport between simulated nodes."""
 
-    def __init__(self, is_alive: Callable[[int], bool]):
+    def __init__(self, is_alive: Callable[[int], bool],
+                 metrics: MetricsRegistry | None = None):
         self._is_alive = is_alive
         self._queues: dict[int, list[Message]] = defaultdict(list)
         #: Messages held back by a ``delay`` fault verdict; merged at the
@@ -92,20 +102,57 @@ class Network:
             defaultdict(lambda: defaultdict(int))
         # lifetime counters
         self.totals = TrafficStats()
-        self.dropped_msgs = 0
-        #: Wire bytes (incl. header) of messages dropped at a dead
-        #: destination; keeps the cost model's traffic accounting honest
-        #: during failure windows.
-        self.dropped_bytes = 0
+        self.metrics = metrics or MetricsRegistry()
         #: Optional fault injector (chaos testing): callable returning a
         #: verdict for each remote message — ``"deliver"`` (default),
         #: ``"drop"``, ``"duplicate"`` or ``"delay"``.
         self.fault_injector: Callable[[Message], str] | None = None
-        # chaos-injected fault counters
-        self.chaos_dropped_msgs = 0
-        self.chaos_dropped_bytes = 0
-        self.chaos_duplicated_msgs = 0
-        self.chaos_delayed_msgs = 0
+
+    # -- metrics --------------------------------------------------------
+
+    def bind_metrics(self, metrics: MetricsRegistry) -> None:
+        """Re-home the ``net.*`` counters into a job-wide registry.
+
+        The network is built with the cluster, before the engine (and
+        its registry) exist; counts accumulated so far carry over.
+        """
+        if metrics is self.metrics:
+            return
+        metrics.absorb(self.metrics)
+        self.metrics = metrics
+
+    @property
+    def dropped_msgs(self) -> int:
+        """Messages dropped at a dead destination."""
+        return int(self.metrics.value("net.dropped_msgs"))
+
+    @property
+    def dropped_bytes(self) -> int:
+        """Wire bytes (incl. header) of messages dropped at a dead
+        destination; keeps the cost model's traffic accounting honest
+        during failure windows."""
+        return int(self.metrics.value("net.dropped_bytes"))
+
+    @property
+    def chaos_dropped_msgs(self) -> int:
+        return int(self.metrics.value("net.chaos_dropped_msgs"))
+
+    @property
+    def chaos_dropped_bytes(self) -> int:
+        return int(self.metrics.value("net.chaos_dropped_bytes"))
+
+    @property
+    def chaos_duplicated_msgs(self) -> int:
+        return int(self.metrics.value("net.chaos_duplicated_msgs"))
+
+    @property
+    def chaos_delayed_msgs(self) -> int:
+        return int(self.metrics.value("net.chaos_delayed_msgs"))
+
+    @property
+    def purged_msgs(self) -> int:
+        """In-flight messages discarded by crash purges (both kinds)."""
+        return int(self.metrics.value("net.purged_msgs"))
 
     # -- step lifecycle -------------------------------------------------
 
@@ -124,46 +171,55 @@ class Network:
             # engine code stays uniform, but not counted as traffic.
             self._queues[msg.dst].append(msg)
             return
+        wire_bytes = msg.nbytes + BYTES_PER_MSG_HEADER
         if not self._is_alive(msg.dst):
-            self.dropped_msgs += 1
-            self.dropped_bytes += msg.nbytes + BYTES_PER_MSG_HEADER
+            self.metrics.inc("net.dropped_msgs")
+            self.metrics.inc("net.dropped_bytes", wire_bytes)
             return
         copies = 1
         delayed = False
         if self.fault_injector is not None:
             verdict = self.fault_injector(msg)
             if verdict == "drop":
-                self.chaos_dropped_msgs += 1
-                self.chaos_dropped_bytes += (msg.nbytes
-                                             + BYTES_PER_MSG_HEADER)
+                self.metrics.inc("net.chaos_dropped_msgs")
+                self.metrics.inc("net.chaos_dropped_bytes", wire_bytes)
                 return
             if verdict == "duplicate":
                 # A retransmission: both copies cross the wire.
                 copies = 2
-                self.chaos_duplicated_msgs += 1
+                self.metrics.inc("net.chaos_duplicated_msgs")
             elif verdict == "delay":
                 delayed = True
-                self.chaos_delayed_msgs += 1
-        for _ in range(copies):
+                self.metrics.inc("net.chaos_delayed_msgs")
+        for i in range(copies):
+            # Each delivery must own an independent payload: a consumer
+            # mutating one copy of a duplicated message (e.g. a mirror
+            # patching edge weights in place) must not corrupt the other
+            # in-flight delivery.
+            enqueued = msg if i == 0 else copy.deepcopy(msg)
             if delayed:
-                self._delayed[msg.dst].append(msg)
+                self._delayed[msg.dst].append(enqueued)
             else:
-                self._queues[msg.dst].append(msg)
-            self.step_bytes[msg.src][msg.dst] += (msg.nbytes
-                                                  + BYTES_PER_MSG_HEADER)
+                self._queues[msg.dst].append(enqueued)
+            self.step_bytes[msg.src][msg.dst] += wire_bytes
             self.step_msgs[msg.src][msg.dst] += 1
             self.totals.record(msg)
+            self.metrics.inc("net.sent_msgs")
+            self.metrics.inc("net.sent_bytes", wire_bytes)
+            self.metrics.inc(f"net.msgs.{msg.kind.value}")
+            self.metrics.inc(f"net.bytes.{msg.kind.value}", wire_bytes)
 
     def deliver(self, node_id: int) -> list[Message]:
         """Drain and return the destination's inbox.
 
         Delayed (chaos-reordered) messages arrive after the regular
-        batch — late, but still within the same barrier window.
+        batch — late, but still within the same barrier window.  The
+        queue entries themselves are removed: ids must not accumulate
+        as permanent empty keys across rebirth cycles.
         """
         if not self._is_alive(node_id):
             raise UnknownNodeError(node_id)
-        inbox = self._queues.get(node_id, [])
-        self._queues[node_id] = []
+        inbox = self._queues.pop(node_id, [])
         late = self._delayed.pop(node_id, None)
         if late:
             inbox.extend(late)
@@ -172,6 +228,10 @@ class Network:
     def peek_inbox_size(self, node_id: int) -> int:
         return (len(self._queues.get(node_id, ()))
                 + len(self._delayed.get(node_id, ())))
+
+    def queued_node_ids(self) -> set[int]:
+        """Node ids currently holding a (possibly delayed) queue entry."""
+        return set(self._queues) | set(self._delayed)
 
     # -- failure interaction ---------------------------------------------
 
@@ -182,22 +242,56 @@ class Network:
         a node that dies mid-superstep may have sent only a prefix of
         its batch, so the engine must roll the iteration back anyway
         (Algorithm 1, line 9) and we discard the whole batch.
+
+        The purged traffic is deducted from the step counters — the
+        rolled-back superstep's barrier must not charge communication
+        time for exchanges that never completed.  Lifetime ``totals``
+        keep the bytes: they did cross the wire before the crash.
         """
         purged = 0
         for queues in (self._queues, self._delayed):
-            for dst, queue in queues.items():
+            for dst in list(queues):
+                queue = queues[dst]
                 kept = [m for m in queue if m.src != node_id]
-                purged += len(queue) - len(kept)
-                queues[dst] = kept
+                removed = len(queue) - len(kept)
+                if not removed:
+                    continue
+                purged += removed
+                for m in queue:
+                    if m.src != node_id or m.src == m.dst:
+                        continue  # self-sends were never step-counted
+                    self._deduct_step(m)
+                if kept:
+                    queues[dst] = kept
+                else:
+                    del queues[dst]
+        if purged:
+            self.metrics.inc("net.purged_msgs", purged)
         return purged
 
     def purge_inbox(self, node_id: int) -> int:
-        """Drop messages queued *for* a node (its memory is gone)."""
-        n = (len(self._queues.get(node_id, ()))
-             + len(self._delayed.get(node_id, ())))
-        self._queues[node_id] = []
-        self._delayed.pop(node_id, None)
+        """Drop messages queued *for* a node (its memory is gone).
+
+        The dead id's queue entries are removed outright — a defaultdict
+        key left behind for every crashed incarnation would leak across
+        repeated rebirth cycles.
+        """
+        queued = self._queues.pop(node_id, None) or []
+        delayed = self._delayed.pop(node_id, None) or []
+        n = len(queued) + len(delayed)
+        if n:
+            self.metrics.inc("net.purged_msgs", n)
         return n
+
+    def _deduct_step(self, msg: Message) -> None:
+        """Remove one purged message from the step batching counters."""
+        wire_bytes = msg.nbytes + BYTES_PER_MSG_HEADER
+        row = self.step_bytes.get(msg.src)
+        if row is not None and msg.dst in row:
+            row[msg.dst] = max(0, row[msg.dst] - wire_bytes)
+        row = self.step_msgs.get(msg.src)
+        if row is not None and msg.dst in row:
+            row[msg.dst] = max(0, row[msg.dst] - 1)
 
     # -- accounting views --------------------------------------------------
 

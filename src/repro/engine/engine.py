@@ -62,6 +62,7 @@ from repro.ft.edge_ckpt import EdgeCkptStore, EdgeRecord
 from repro.ft.recovery import RecoveryOutcome, RecoveryStats
 from repro.ft.replication import plan_replication
 from repro.graph.graph import Graph
+from repro.obs import NULL_TRACER, MetricsRegistry, Tracer
 from repro.partition.base import make_partitioner
 
 
@@ -118,7 +119,8 @@ class Engine:
     def __init__(self, graph: Graph, program: VertexProgram,
                  job: JobConfig | None = None,
                  cluster: Cluster | None = None,
-                 partitioning=None, seed: int | None = None):
+                 partitioning=None, seed: int | None = None,
+                 tracer: Tracer | None = None):
         self.job = job or JobConfig()
         self.job.validate()
         self.graph = graph
@@ -129,41 +131,56 @@ class Engine:
         self.model: CostModel = self.cluster.cost_model
         self.seed = self.job.cluster.seed if seed is None else seed
 
-        # -- loading phase (Section 4) --------------------------------
-        if partitioning is None:
-            partitioner = make_partitioner(self.job.engine.partition)
-            partitioning = partitioner(graph, self.cluster.num_workers,
-                                       seed=self.seed)
-        partitioning.validate(graph)
-        self.partitioning = partitioning
-        plan_cfg = (self.job.ft
-                    if self.job.ft.mode is FTMode.REPLICATION
-                    else _zero_ft(self.job.ft))
-        self.plan = plan_replication(graph, partitioning, plan_cfg,
-                                     seed=self.seed)
-        self.local_graphs, self.construction = build_local_graphs(
-            graph, partitioning, self.plan)
-        for node_id, lg in self.local_graphs.items():
-            self.cluster.node(node_id).local = lg
-        self.master_node_of: list[int] = [int(n)
-                                          for n in self.plan.master_of]
-        self.is_edge_cut = partitioning.kind == "edge-cut"
+        # -- observability (DESIGN.md §8) -----------------------------
+        self.tracer = tracer or NULL_TRACER
+        self.tracer.bind_sim_clock(self.cluster.clocks.global_max)
+        self.metrics = MetricsRegistry()
+        self.cluster.network.bind_metrics(self.metrics)
 
-        # -- fault-tolerance wiring ------------------------------------
-        self.ckpt: CheckpointManager | None = None
-        self.edge_ckpt: EdgeCkptStore | None = None
-        if self.job.ft.mode is FTMode.CHECKPOINT:
-            self.ckpt = CheckpointManager(
-                self.cluster.store, self.model,
-                interval=self.job.ft.checkpoint_interval,
-                in_memory=self.job.ft.checkpoint_in_memory,
-                num_nodes=self.cluster.num_workers)
-            self.ckpt.write_metadata(self.local_graphs)
-        if (self.job.ft.mode is FTMode.REPLICATION
-                and not self.is_edge_cut):
-            self.edge_ckpt = EdgeCkptStore(self.cluster.store,
-                                           self.cluster.num_workers)
-            self._write_edge_ckpt_files()
+        # -- loading phase (Section 4) --------------------------------
+        with self.tracer.span("load", cat="load",
+                              algorithm=program.name):
+            if partitioning is None:
+                partitioner = make_partitioner(self.job.engine.partition)
+                with self.tracer.span("load.partition", cat="load"):
+                    partitioning = partitioner(graph,
+                                               self.cluster.num_workers,
+                                               seed=self.seed)
+            partitioning.validate(graph)
+            self.partitioning = partitioning
+            plan_cfg = (self.job.ft
+                        if self.job.ft.mode is FTMode.REPLICATION
+                        else _zero_ft(self.job.ft))
+            with self.tracer.span("load.replicate", cat="load"):
+                self.plan = plan_replication(graph, partitioning, plan_cfg,
+                                             seed=self.seed)
+            with self.tracer.span("load.construct", cat="load"):
+                self.local_graphs, self.construction = build_local_graphs(
+                    graph, partitioning, self.plan)
+            for node_id, lg in self.local_graphs.items():
+                self.cluster.node(node_id).local = lg
+            self.master_node_of: list[int] = [int(n)
+                                              for n in self.plan.master_of]
+            self.is_edge_cut = partitioning.kind == "edge-cut"
+
+            # -- fault-tolerance wiring --------------------------------
+            self.ckpt: CheckpointManager | None = None
+            self.edge_ckpt: EdgeCkptStore | None = None
+            with self.tracer.span("load.ft_init", cat="load",
+                                  ft_mode=self.job.ft.mode.value):
+                if self.job.ft.mode is FTMode.CHECKPOINT:
+                    self.ckpt = CheckpointManager(
+                        self.cluster.store, self.model,
+                        interval=self.job.ft.checkpoint_interval,
+                        in_memory=self.job.ft.checkpoint_in_memory,
+                        num_nodes=self.cluster.num_workers,
+                        tracer=self.tracer)
+                    self.ckpt.write_metadata(self.local_graphs)
+                if (self.job.ft.mode is FTMode.REPLICATION
+                        and not self.is_edge_cut):
+                    self.edge_ckpt = EdgeCkptStore(self.cluster.store,
+                                                   self.cluster.num_workers)
+                    self._write_edge_ckpt_files()
 
         # -- runtime state ------------------------------------------------
         self.iteration = 0
@@ -214,27 +231,47 @@ class Engine:
         self._failures.append(_ScheduledFailure(iteration, nodes, phase))
 
     def run(self, max_iterations: int | None = None) -> RunResult:
-        """Execute the job to completion (Algorithm 1)."""
+        """Execute the job to completion (Algorithm 1).
+
+        Trace contract: the top-level ``superstep`` and ``recovery``
+        spans emitted here tile the simulated timeline — their
+        ``dur_sim_s`` sum to :attr:`RunResult.total_sim_time_s`.
+        """
         limit = max_iterations or self.job.engine.max_iterations
         while self.iteration < limit:
             self._inject("compute")
-            failed = self._run_superstep()
+            with self.tracer.span("superstep", cat="superstep",
+                                  iteration=self.iteration) as sp:
+                failed = self._run_superstep()
+                if failed is None:
+                    self._commit_barrier()
+                else:
+                    sp.annotate(rolled_back=True,
+                                failed_nodes=list(failed))
             if failed is not None:
                 # Failure detected entering the barrier: roll back and
                 # recover, then retry the same iteration.
-                self._rollback()
-                self._recover(failed)
+                with self.tracer.span("recovery", cat="recovery",
+                                      iteration=self.iteration,
+                                      failed_nodes=list(failed)):
+                    self._rollback()
+                    self._recover(failed)
                 continue
-            self._commit_barrier()
             self._chaos_point("post_commit")
             self.iteration += 1
             if self._halted and self.job.engine.halt_on_inactive:
+                self.tracer.instant("halt", cat="engine",
+                                    iteration=self.iteration)
                 break
             self._inject("after_commit")
             self._chaos_point("after_commit")
             failed = self._leave_barrier()
             if failed:
-                self._recover(failed)
+                with self.tracer.span("recovery", cat="recovery",
+                                      iteration=self.iteration,
+                                      failed_nodes=list(failed),
+                                      after_commit=True):
+                    self._recover(failed)
         return self._result()
 
     def values(self) -> dict[int, Any]:
@@ -360,37 +397,50 @@ class Engine:
         self._step_vertices: dict[int, int] = defaultdict(int)
         #: Staged edge mutations: node -> [(slot, [(idx, new_w)])].
         self._edge_updates: dict[int, list] = defaultdict(list)
-        start_bytes = net.totals.total_bytes
-        start_msgs = net.totals.total_msgs
+        #: Traffic totals at superstep start; the barrier commit closes
+        #: the window so IterationStats covers the whole superstep,
+        #: activation/control traffic of the commit included.
+        self._step_start = (net.totals.total_msgs, net.totals.total_bytes)
 
         self._chaos_point("superstep_start")
         alive = self._filter_alive(alive)
-        if self.is_edge_cut:
-            self._edge_cut_compute(alive)
-        else:
-            self._vertex_cut_compute(alive)
+        with self.tracer.span("compute", iteration=self.iteration,
+                              mode=("edge-cut" if self.is_edge_cut
+                                    else "vertex-cut")) as sp:
+            if self.is_edge_cut:
+                self._edge_cut_compute(alive)
+            else:
+                self._vertex_cut_compute(alive)
+            # Advance per-node clocks: framework overhead + compute.
+            for node in alive:
+                cores = self.cluster.node(node).cores
+                self.cluster.clocks.advance(
+                    node, self.model.superstep_overhead_s)
+                self.cluster.clocks.advance(node, compute_time(
+                    self.model, self._step_edges[node],
+                    self._step_vertices[node], cores))
+            sp.annotate(edges=sum(self._step_edges.values()),
+                        vertices=sum(self._step_vertices.values()))
         # Compute done, all syncs sent but not yet delivered: a crash
         # here models in-flight message loss during the sync exchange.
         self._chaos_point("sync")
         alive = self._filter_alive(alive)
 
-        # Advance per-node clocks: framework + compute + batched
-        # communication.
-        for node in alive:
-            cores = self.cluster.node(node).cores
-            self.cluster.clocks.advance(node,
-                                        self.model.superstep_overhead_s)
-            self.cluster.clocks.advance(node, compute_time(
-                self.model, self._step_edges[node],
-                self._step_vertices[node], cores))
-            self.cluster.clocks.advance(node, pairwise_comm_time(
-                self.model, net.step_bytes, net.step_msgs, node))
-        self._step_stats = (net.totals.total_msgs - start_msgs,
-                            net.totals.total_bytes - start_bytes)
+        # Batched communication: the slower direction per node pair.
+        with self.tracer.span("sync", iteration=self.iteration) as sp:
+            for node in alive:
+                self.cluster.clocks.advance(node, pairwise_comm_time(
+                    self.model, net.step_bytes, net.step_msgs, node))
+            sp.annotate(
+                msgs=net.totals.total_msgs - self._step_start[0],
+                bytes=net.totals.total_bytes - self._step_start[1])
 
         # enter_barrier: detect failures (Algorithm 1, line 7).
-        self._chaos_point("barrier")
-        failed = tuple(sorted(self.cluster.detector.newly_failed()))
+        with self.tracer.span("detect", iteration=self.iteration) as sp:
+            self._chaos_point("barrier")
+            failed = tuple(sorted(self.cluster.detector.newly_failed()))
+            if failed:
+                sp.annotate(failed_nodes=list(failed))
         return failed if failed else None
 
     def _compute_master(self, node: int, lg: LocalGraph, slot: VertexSlot,
@@ -578,8 +628,40 @@ class Engine:
         """Commit pending state inside the global barrier (lines 14-15)."""
         alive = self._alive()
         net = self.cluster.network
+        with self.tracer.span("barrier", iteration=self.iteration) as sp:
+            ckpt_time = self._commit_barrier_inner(alive, net, sp)
+        self._finish_iteration_stats(alive, net, ckpt_time)
 
+    def _commit_barrier_inner(self, alive: list[int], net, span) -> float:
         # Apply received syncs to replicas/mirrors.
+        with self.tracer.span("barrier.apply_syncs",
+                              iteration=self.iteration):
+            self._apply_received_syncs(alive, net)
+
+        # Commit staged edge mutations (Section 4.3).  Under vertex-cut
+        # every update is incrementally logged to the owner's edge-ckpt
+        # file, overlapped with execution (bytes counted, no time).
+        self._commit_edge_mutations()
+
+        # Commit values and resolve activations.
+        with self.tracer.span("barrier.commit", iteration=self.iteration):
+            total_active = self._commit_values(alive, net)
+        self._halted = total_active == 0
+        span.annotate(active_masters=total_active)
+
+        # Checkpoint inside the barrier (Section 2.2).
+        ckpt_time = 0.0
+        if self.ckpt is not None and self.ckpt.due(self.iteration):
+            ckpt_time = self.ckpt.checkpoint(self.iteration,
+                                             self.local_graphs,
+                                             self.program, alive,
+                                             self._edge_journal)
+            self._edge_journal = defaultdict(list)
+            for node in alive:
+                self.cluster.clocks.advance(node, ckpt_time)
+        return ckpt_time
+
+    def _apply_received_syncs(self, alive: list[int], net) -> None:
         for node in alive:
             lg = self.local_graphs[node]
             for msg in net.deliver(node):
@@ -596,9 +678,7 @@ class Engine:
                             slot.full_edges[idx] = (gid0, pos, weight)
                 self._mark_dirty(node, slot)
 
-        # Commit staged edge mutations (Section 4.3).  Under vertex-cut
-        # every update is incrementally logged to the owner's edge-ckpt
-        # file, overlapped with execution (bytes counted, no time).
+    def _commit_edge_mutations(self) -> None:
         if self._edge_updates:
             for node, items in self._edge_updates.items():
                 lg = self.local_graphs[node]
@@ -617,7 +697,9 @@ class Engine:
                                 (slot.gid, idx, weight))
             self._edge_updates = defaultdict(list)
 
-        # Commit values and resolve activations.
+    def _commit_values(self, alive: list[int], net) -> int:
+        """Commit pending values, resolve activations; returns the
+        number of active masters after the superstep."""
         activation_signals: set[tuple[int, int, int]] = set()
         for node in alive:
             lg = self.local_graphs[node]
@@ -649,6 +731,16 @@ class Engine:
             for node in alive:
                 lg = self.local_graphs[node]
                 for msg in net.deliver(node):
+                    # The activation exchange must only ever see the
+                    # ACTIVATE batch just sent above; blindly treating
+                    # every inbox message as an activation would flip
+                    # ``next_active`` from stray payloads lacking the
+                    # semantics (and hide a sequencing bug upstream).
+                    if msg.kind is not MessageKind.ACTIVATE:
+                        raise EngineError(
+                            f"unexpected {msg.kind.value} message from "
+                            f"node {msg.src} in the activation exchange "
+                            f"of iteration {self.iteration}")
                     slot = lg.slot_of(msg.payload.gid)
                     slot.next_active = True
                     self._mark_dirty(node, slot)
@@ -672,23 +764,17 @@ class Engine:
                     # remote activations are replayed at recovery.
                     slot.mirror_self_active = slot.pending_active
                 slot.clear_pending()
+        return sum(len(self.local_graphs[n].active_masters)
+                   for n in alive)
+
+    def _finish_iteration_stats(self, alive: list[int], net,
+                                ckpt_time: float) -> None:
+        """Close the superstep: barrier clocks, stats, metrics snapshot."""
+        post = self.cluster.clocks.barrier(self.model, alive)
+        msgs = net.totals.total_msgs - self._step_start[0]
+        nbytes = net.totals.total_bytes - self._step_start[1]
         total_active = sum(len(self.local_graphs[n].active_masters)
                            for n in alive)
-        self._halted = total_active == 0
-
-        # Checkpoint inside the barrier (Section 2.2).
-        ckpt_time = 0.0
-        if self.ckpt is not None and self.ckpt.due(self.iteration):
-            ckpt_time = self.ckpt.checkpoint(self.iteration,
-                                             self.local_graphs,
-                                             self.program, alive,
-                                             self._edge_journal)
-            self._edge_journal = defaultdict(list)
-            for node in alive:
-                self.cluster.clocks.advance(node, ckpt_time)
-
-        post = self.cluster.clocks.barrier(self.model, alive)
-        msgs, nbytes = self._step_stats
         self.iteration_stats.append(IterationStats(
             iteration=self.iteration,
             active_masters=total_active,
@@ -698,6 +784,10 @@ class Engine:
             checkpoint_s=ckpt_time,
             sim_clock_s=post))
         self._last_barrier_clock = post
+        self.metrics.inc("engine.supersteps")
+        self.metrics.set_gauge("engine.active_masters", total_active)
+        self.metrics.set_gauge("engine.iteration", self.iteration)
+        self.metrics.snapshot(iteration=self.iteration, sim_clock_s=post)
 
     def _leave_barrier(self) -> tuple[int, ...]:
         """Post-commit failure check (Algorithm 1, line 16)."""
@@ -742,27 +832,42 @@ class Engine:
         for node in alive:
             self.cluster.clocks.advance(node, detection)
         self.cluster.clocks.barrier(self.model, alive)
+        self.tracer.record("recovery.detection", detection,
+                           cat="recovery", failed_nodes=list(failed))
 
         if mode is FTMode.NONE:
             raise UnrecoverableFailureError(
                 f"nodes {list(failed)} crashed and fault tolerance is "
                 f"disabled (BASE configuration)")
         at_iteration = self.iteration
-        if mode is FTMode.CHECKPOINT:
-            outcome = self._checkpoint_recover(failed)
-        else:
-            from repro.ft.migration import MigrationRecovery
-            from repro.ft.rebirth import RebirthRecovery
-            if self.job.ft.recovery is RecoveryStrategy.REBIRTH:
-                recovery = RebirthRecovery(self)
+        with self.tracer.span("recovery.protocol", cat="recovery",
+                              failed_nodes=list(failed)) as sp:
+            if mode is FTMode.CHECKPOINT:
+                outcome = self._checkpoint_recover(failed)
             else:
-                recovery = MigrationRecovery(self)
-            outcome = recovery.recover(failed)
+                from repro.ft.migration import MigrationRecovery
+                from repro.ft.rebirth import RebirthRecovery
+                if self.job.ft.recovery is RecoveryStrategy.REBIRTH:
+                    recovery = RebirthRecovery(self)
+                else:
+                    recovery = MigrationRecovery(self)
+                outcome = recovery.recover(failed)
+            # Protocol phase times are cost-model aggregates, not lived
+            # through the clock; clocks advance below, after the span.
+            sp.set_sim(outcome.stats.total_s)
+            sp.annotate(strategy=outcome.stats.strategy,
+                        vertices=outcome.stats.vertices_recovered,
+                        recovery_bytes=outcome.stats.recovery_bytes)
         outcome.stats.detection_s = detection
         outcome.stats.at_iteration = at_iteration
         for gid, node in outcome.master_of_updates.items():
             self.master_node_of[gid] = node
         self.recoveries.append(outcome.stats)
+        self.metrics.inc("recovery.count")
+        self.metrics.inc(f"recovery.by_strategy.{outcome.stats.strategy}")
+        self.metrics.inc("recovery.failed_nodes", len(failed))
+        self.metrics.inc("recovery.sim_s", outcome.stats.total_s)
+        self.metrics.inc("recovery.bytes", outcome.stats.recovery_bytes)
         self._refresh_broadcast_state()
         # Recovery time advances every participant's clock.
         participants = self._alive()
@@ -823,6 +928,8 @@ class Engine:
         stats = self.ckpt.recover(self.local_graphs, self.program, alive,
                                   self.initial_value_of)
         reconstruct_s = self._full_resync(alive)
+        self.tracer.record("checkpoint.reconstruct", reconstruct_s,
+                           cat="recovery")
         lost = self.iteration - stats.resume_iteration
         self.iteration = stats.resume_iteration
         recovery = RecoveryStats(

@@ -28,6 +28,7 @@ from repro.costmodel import CostModel, storage_read_time, storage_write_time
 from repro.engine.local_graph import LocalGraph
 from repro.engine.vertex_program import VertexProgram
 from repro.errors import CheckpointError
+from repro.obs import NULL_TRACER, Tracer
 from repro.utils.sizing import BYTES_PER_EDGE, BYTES_PER_VID
 
 
@@ -66,7 +67,8 @@ class CheckpointManager:
     """Writes and restores Imitator-CKPT snapshots for one job."""
 
     def __init__(self, store: PersistentStore, model: CostModel,
-                 interval: int, in_memory: bool, num_nodes: int):
+                 interval: int, in_memory: bool, num_nodes: int,
+                 tracer: Tracer | None = None):
         if interval < 1:
             raise CheckpointError("checkpoint interval must be >= 1")
         self.store = store
@@ -75,6 +77,7 @@ class CheckpointManager:
         self.in_memory = in_memory
         self.num_nodes = num_nodes
         self.stats = CheckpointStats()
+        self.tracer = tracer or NULL_TRACER
 
     # -- loading phase ------------------------------------------------------
 
@@ -146,6 +149,9 @@ class CheckpointManager:
         self.stats.checkpoints_written += 1
         self.stats.time_spent_s += slowest
         self.stats.last_checkpoint_iteration = iteration
+        self.tracer.record("barrier.checkpoint", slowest, cat="checkpoint",
+                           iteration=iteration,
+                           ckpt_bytes=self.stats.bytes_written)
         return slowest
 
     # -- recovery ---------------------------------------------------------------
@@ -215,4 +221,8 @@ class CheckpointManager:
                 stats.reload_s,
                 deserialise + storage_read_time(
                     self.model, nbytes, num_reads, self.in_memory))
+        self.tracer.record("checkpoint.reload", stats.reload_s,
+                           cat="recovery", bytes_read=stats.bytes_read,
+                           vertices=stats.vertices_restored,
+                           resume_iteration=stats.resume_iteration)
         return stats

@@ -167,6 +167,15 @@ class MigrationRecovery:
         stats.replay_s = ((replay_ops * model.per_vertex_reconstruct_s
                            + replay_edges * model.per_edge_compute_s)
                           * scale / max(1, len(survivors)))
+        tracer = engine.tracer
+        tracer.record("migration.reload", stats.reload_s, cat="recovery",
+                      promotions=len(promotions),
+                      coordination_rounds=rounds)
+        tracer.record("migration.reconstruct", stats.reconstruct_s,
+                      cat="recovery", edges=edges_relinked,
+                      replicas_created=created)
+        tracer.record("migration.replay", stats.replay_s, cat="recovery",
+                      replay_ops=replay_ops)
         return RecoveryOutcome(
             stats=stats,
             master_of_updates={gid: node for gid, node in promotions})

@@ -189,6 +189,14 @@ class RebirthRecovery:
         stats.replay_s = ((replay_ops * model.per_vertex_reconstruct_s
                            + replay_edges * model.per_edge_compute_s)
                           * model.data_scale / max(1, len(failed)))
+        tracer = engine.tracer
+        tracer.record("rebirth.reload", stats.reload_s, cat="recovery",
+                      recovery_bytes=stats.recovery_bytes,
+                      vertices=stats.vertices_recovered)
+        tracer.record("rebirth.reconstruct", stats.reconstruct_s,
+                      cat="recovery", edges=stats.edges_recovered)
+        tracer.record("rebirth.replay", stats.replay_s, cat="recovery",
+                      replay_ops=replay_ops)
         return RecoveryOutcome(stats=stats, joined_nodes=failed)
 
     # -- helpers --------------------------------------------------------

@@ -1,0 +1,25 @@
+"""Observability: span tracing and a unified metrics registry.
+
+The paper's whole evaluation is per-phase measurement — compute vs.
+sync vs. barrier vs. recovery time, traffic by message kind (Figs.
+7-15, Tables 2-7).  This package is the measurement substrate:
+
+* :class:`Tracer` — spans over *both* wall-clock and simulated time
+  for every engine phase, exportable as JSON-lines or Chrome
+  ``trace_event`` JSON (see DESIGN.md §8);
+* :class:`MetricsRegistry` — counters/gauges with per-superstep
+  snapshots, absorbing the ad-hoc counters previously scattered across
+  the network, engine, chaos and recovery code;
+* :data:`NULL_TRACER` — the shared disabled tracer; instrumentation is
+  free when tracing is off.
+"""
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "Span",
+    "Tracer",
+]

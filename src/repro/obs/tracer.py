@@ -1,0 +1,263 @@
+"""Low-overhead span tracer on the dual (wall, simulated) timeline.
+
+Every engine phase — loading, gather, sync, barrier commit, checkpoint,
+failure detection, recovery rounds — is recorded as a :class:`Span`
+carrying *both* clocks: wall-clock seconds (what the host machine
+spent) and simulated seconds (what the cost model says the modelled
+cluster spent).  Chaos injections and other point events are recorded
+as instants on the same timeline, so a ``--chaos-seed`` replay yields a
+trace showing exactly where the faults landed.
+
+Two export formats:
+
+* **JSON-lines** (:meth:`Tracer.write_jsonl`): one flat JSON object per
+  span/instant, in start order — trivially greppable and diffable;
+* **Chrome ``trace_event``** (:meth:`Tracer.write_chrome_trace`): load
+  the file in ``chrome://tracing`` / Perfetto to inspect the run
+  visually.  The simulated clock is the horizontal axis; wall times
+  ride along in ``args``.
+
+Timeline contract (tested): the engine emits its *top-level* spans —
+``cat="superstep"`` and ``cat="recovery"`` — so that they tile the
+simulated timeline: their ``dur_sim_s`` sum to
+``RunResult.total_sim_time_s`` exactly.  Nested phase spans subdivide
+their parents and carry no such guarantee.
+
+A disabled tracer (``Tracer(enabled=False)``, or the shared
+:data:`NULL_TRACER`) keeps the full API but records nothing; the hot
+path is one attribute check, so instrumented code needs no ``if``
+guards and the simulated results are bit-identical either way.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+
+class Span:
+    """One open (or finished) traced region."""
+
+    __slots__ = ("name", "cat", "attrs", "t_wall_s", "t_sim_s",
+                 "dur_wall_s", "dur_sim_s", "depth", "parent",
+                 "_sim_override")
+
+    def __init__(self, name: str, cat: str, depth: int,
+                 parent: str | None, t_wall_s: float, t_sim_s: float,
+                 attrs: dict[str, Any]):
+        self.name = name
+        self.cat = cat
+        self.depth = depth
+        self.parent = parent
+        self.t_wall_s = t_wall_s
+        self.t_sim_s = t_sim_s
+        self.dur_wall_s = 0.0
+        self.dur_sim_s = 0.0
+        self.attrs = attrs
+        self._sim_override: float | None = None
+
+    def annotate(self, **attrs: Any) -> "Span":
+        """Attach extra key/value payload to the span."""
+        self.attrs.update(attrs)
+        return self
+
+    def set_sim(self, seconds: float) -> "Span":
+        """Override the measured simulated duration.
+
+        Recovery protocols compute their modelled phase times as
+        aggregates (max over nodes) rather than by advancing the global
+        clock step by step; they report those durations here.
+        """
+        self._sim_override = float(seconds)
+        return self
+
+    def record(self) -> dict[str, Any]:
+        rec = {"type": "span", "name": self.name, "cat": self.cat,
+               "depth": self.depth, "parent": self.parent,
+               "t_wall_s": self.t_wall_s, "dur_wall_s": self.dur_wall_s,
+               "t_sim_s": self.t_sim_s, "dur_sim_s": self.dur_sim_s}
+        rec.update(self.attrs)
+        return rec
+
+
+class _NullSpan:
+    """Inert span handle yielded by a disabled tracer."""
+
+    __slots__ = ()
+
+    def annotate(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def set_sim(self, seconds: float) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Records spans and instants on the dual wall/simulated timeline.
+
+    One tracer traces one run: handing the same instance to a second
+    engine appends that run's events to the same list (and the timeline
+    contract then holds per run, not over the concatenation).
+    """
+
+    def __init__(self, *, enabled: bool = True,
+                 sim_clock: Callable[[], float] | None = None,
+                 wall_clock: Callable[[], float] = time.perf_counter):
+        self.enabled = enabled
+        self.events: list[dict[str, Any]] = []
+        self._stack: list[Span] = []
+        self._sim_clock: Callable[[], float] = sim_clock or (lambda: 0.0)
+        self._wall_clock = wall_clock
+
+    # -- wiring ---------------------------------------------------------
+
+    def bind_sim_clock(self, sim_clock: Callable[[], float]) -> None:
+        """Point the simulated axis at a clock (the engine's global max).
+
+        A disabled tracer ignores the binding so the shared
+        :data:`NULL_TRACER` stays stateless across engines.
+        """
+        if self.enabled:
+            self._sim_clock = sim_clock
+
+    @property
+    def open_depth(self) -> int:
+        """Currently open span nesting depth (0 when balanced)."""
+        return len(self._stack)
+
+    # -- recording ------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, cat: str = "phase",
+             **attrs: Any) -> Iterator[Span | _NullSpan]:
+        """Trace a region; yields the handle for annotations."""
+        if not self.enabled:
+            yield _NULL_SPAN
+            return
+        parent = self._stack[-1].name if self._stack else None
+        sp = Span(name, cat, len(self._stack), parent,
+                  self._wall_clock(), self._sim_clock(), attrs)
+        self._stack.append(sp)
+        try:
+            yield sp
+        except BaseException as exc:
+            sp.attrs.setdefault("error", type(exc).__name__)
+            raise
+        finally:
+            self._stack.pop()
+            sp.dur_wall_s = self._wall_clock() - sp.t_wall_s
+            sp.dur_sim_s = (sp._sim_override
+                            if sp._sim_override is not None
+                            else self._sim_clock() - sp.t_sim_s)
+            self.events.append(sp.record())
+
+    def record(self, name: str, sim_s: float, cat: str = "phase",
+               **attrs: Any) -> None:
+        """Emit a pre-measured span (modelled duration, no wall time).
+
+        Used by recovery protocols whose phase times are computed as
+        cost-model aggregates rather than lived through the clock.
+        """
+        if not self.enabled:
+            return
+        parent = self._stack[-1].name if self._stack else None
+        sp = Span(name, cat, len(self._stack), parent,
+                  self._wall_clock(), self._sim_clock(), attrs)
+        sp.dur_sim_s = float(sim_s)
+        self.events.append(sp.record())
+
+    def instant(self, name: str, cat: str = "event",
+                **attrs: Any) -> None:
+        """Record a point event (chaos injection, detection, halt)."""
+        if not self.enabled:
+            return
+        rec = {"type": "instant", "name": name, "cat": cat,
+               "depth": len(self._stack),
+               "parent": self._stack[-1].name if self._stack else None,
+               "t_wall_s": self._wall_clock(),
+               "t_sim_s": self._sim_clock()}
+        rec.update(attrs)
+        self.events.append(rec)
+
+    # -- queries --------------------------------------------------------
+
+    def spans(self, name: str | None = None,
+              cat: str | None = None) -> list[dict[str, Any]]:
+        """Finished spans, optionally filtered by name and/or category."""
+        return [e for e in self.events
+                if e["type"] == "span"
+                and (name is None or e["name"] == name)
+                and (cat is None or e["cat"] == cat)]
+
+    def top_level_spans(self) -> list[dict[str, Any]]:
+        """Depth-0 spans: the ones that tile the simulated timeline."""
+        return [e for e in self.events
+                if e["type"] == "span" and e["depth"] == 0]
+
+    def instants(self, cat: str | None = None) -> list[dict[str, Any]]:
+        return [e for e in self.events
+                if e["type"] == "instant"
+                and (cat is None or e["cat"] == cat)]
+
+    # -- export ---------------------------------------------------------
+
+    def _ordered(self) -> list[dict[str, Any]]:
+        """Events in (sim start, -depth) order: parents before children."""
+        return sorted(self.events,
+                      key=lambda e: (e["t_sim_s"], e.get("depth", 0)))
+
+    def dump_jsonl(self) -> str:
+        return "\n".join(json.dumps(e, sort_keys=True, default=str)
+                         for e in self._ordered())
+
+    def write_jsonl(self, path: str) -> None:
+        """Write the trace as one JSON object per line."""
+        with open(path, "w") as fh:
+            fh.write(self.dump_jsonl())
+            if self.events:
+                fh.write("\n")
+
+    def to_chrome_trace(self) -> dict[str, Any]:
+        """Chrome ``trace_event`` JSON (open in chrome://tracing).
+
+        The simulated clock maps to the trace timeline (microseconds);
+        wall-clock figures travel in each event's ``args``.
+        """
+        trace_events: list[dict[str, Any]] = [
+            {"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+             "args": {"name": "simulated cluster (engine)"}},
+        ]
+        for e in self._ordered():
+            args = {k: v for k, v in e.items()
+                    if k not in ("type", "name", "cat", "t_sim_s",
+                                 "dur_sim_s", "depth", "parent")}
+            if e["type"] == "span":
+                trace_events.append({
+                    "name": e["name"], "cat": e["cat"], "ph": "X",
+                    "ts": e["t_sim_s"] * 1e6,
+                    "dur": e["dur_sim_s"] * 1e6,
+                    "pid": 0, "tid": 0, "args": args,
+                })
+            else:
+                trace_events.append({
+                    "name": e["name"], "cat": e["cat"], "ph": "i",
+                    "ts": e["t_sim_s"] * 1e6, "s": "t",
+                    "pid": 0, "tid": 0, "args": args,
+                })
+        return {"traceEvents": trace_events,
+                "displayTimeUnit": "ms",
+                "otherData": {"time_axis": "simulated seconds"}}
+
+    def write_chrome_trace(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome_trace(), fh, default=str)
+
+
+#: Shared disabled tracer: the default for engines built without
+#: explicit tracing.  Never records, never holds state.
+NULL_TRACER = Tracer(enabled=False)
