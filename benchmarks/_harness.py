@@ -85,8 +85,16 @@ def _bench_record(spec: RunSpec, engine: Engine, result: RunResult,
              "failed_nodes": list(r.failed_nodes),
              "reload_s": r.reload_s, "reconstruct_s": r.reconstruct_s,
              "replay_s": r.replay_s, "detection_s": r.detection_s,
-             "recovery_bytes": r.recovery_bytes}
+             "recovery_bytes": r.recovery_bytes,
+             "repair_s": r.repair_s,
+             "repair_replicas_created": r.repair_replicas_created}
             for r in result.recoveries],
+        "fallback_by_rung": {
+            key[len("recovery.fallback.by_rung."):]: int(value)
+            for key, value in engine.metrics.counters(
+                "recovery.fallback.by_rung.").items()},
+        "ft_level_current": result.ft_level_current,
+        "ft_degraded": result.ft_degraded,
     }
     path = _BENCH_DIR / f"BENCH_{figure}.json"
     payload = {"figure": figure, "runs": list(per_figure.values())}
@@ -109,6 +117,7 @@ class RunSpec:
     selfish_optimization: bool = True
     checkpoint_interval: int = 1
     checkpoint_in_memory: bool = False
+    safety_checkpoint_interval: int = 0
     num_standby: int = 3
     algo_kwargs: tuple = ()
 
@@ -130,10 +139,12 @@ class RunSpec:
                          if self.ft == "checkpoint" else 1)
         ckpt_mem = (self.checkpoint_in_memory
                     if self.ft == "checkpoint" else False)
+        safety = (self.safety_checkpoint_interval
+                  if self.ft == "replication" else 0)
         return (self.dataset, self.algorithm, self.ft, self.partition,
                 self.nodes, self.iterations, ft_level, recovery,
                 self.failures, selfish, ckpt_interval, ckpt_mem,
-                self.num_standby, self.algo_kwargs)
+                safety, self.num_standby, self.algo_kwargs)
 
 
 def algorithm_kwargs(dataset: str, algorithm: str) -> dict[str, Any]:
@@ -172,6 +183,7 @@ def execute(spec: RunSpec) -> tuple[Engine, RunResult]:
         max_iterations=spec.iterations,
         checkpoint_interval=spec.checkpoint_interval,
         checkpoint_in_memory=spec.checkpoint_in_memory,
+        safety_checkpoint_interval=spec.safety_checkpoint_interval,
         selfish_optimization=spec.selfish_optimization,
         num_standby=spec.num_standby,
         data_scale=float(CATALOG[spec.dataset].scale),

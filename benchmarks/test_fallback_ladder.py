@@ -1,0 +1,95 @@
+"""Fallback-ladder matrix — recovery beyond the configured strategy.
+
+Exercises the four degradation scenarios of DESIGN.md §9 at the
+paper's cluster size and records which ladder rung handled each
+failure (``fallback_by_rung`` in ``BENCH_fallback_ladder.json``):
+
+1. standby pool exhausted  -> Migration rung;
+2. >K simultaneous crashes -> safety-net checkpoint rung;
+3. repeated K-failures     -> post-recovery repair keeps the second
+                              failure coverable;
+4. cluster too small for K -> degraded-mode completion.
+"""
+
+from __future__ import annotations
+
+from _harness import print_table, run
+
+DATASET = "dblp"
+
+
+def test_fallback_ladder_matrix(benchmark):
+    rows = []
+    results = {}
+
+    def experiment():
+        # 1. Two double-failures, two spares: the second failure finds
+        #    the pool dry and rides the Migration rung.
+        _, exhausted = run(DATASET, ft="replication", recovery="rebirth",
+                           ft_level=2, num_standby=2, iterations=6,
+                           failures=((2, (0, 1)), (4, (2, 3))))
+        results["standby-exhausted"] = exhausted
+        # 2. More-than-K simultaneous crashes with the opt-in safety
+        #    net: replication is exhausted, the checkpoint rung reloads.
+        _, overk = run(DATASET, ft="replication", recovery="rebirth",
+                       ft_level=1, num_standby=3, iterations=6,
+                       safety_checkpoint_interval=1,
+                       failures=((3, (0, 1, 2, 3, 4, 5, 6, 7, 8, 9)),))
+        results["over-k"] = overk
+        # 3. Migration twice: the repair pass after the first recovery
+        #    re-creates the promoted mirrors, so the second K-failure
+        #    is still covered.
+        _, repaired = run(DATASET, ft="replication", recovery="migration",
+                          ft_level=2, num_standby=0, iterations=6,
+                          failures=((2, (0, 1)), (4, (2, 3))))
+        results["repair-then-crash"] = repaired
+        # 4. A 4-node cluster at ft_level=2 loses two nodes: one mirror
+        #    per master is all the survivors can hold, and the run
+        #    completes degraded instead of failing.
+        _, degraded = run(DATASET, ft="replication", recovery="migration",
+                          ft_level=2, num_standby=0, nodes=4, iterations=6,
+                          failures=((2, (0, 1)),))
+        results["degraded"] = degraded
+        for name, res in results.items():
+            rows.append([name,
+                         "+".join(r.strategy for r in res.recoveries),
+                         dict(res.fallbacks), res.ft_level_current,
+                         res.ft_degraded])
+        return rows
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print_table(
+        "Fallback ladder: rung used per degradation scenario",
+        ["scenario", "strategies", "fallbacks", "ft_level", "degraded"],
+        rows)
+
+    exhausted = results["standby-exhausted"]
+    assert [r.strategy for r in exhausted.recoveries] == \
+        ["rebirth", "migration"]
+    assert exhausted.fallbacks == {"migration": 1}
+    assert not exhausted.ft_degraded
+
+    overk = results["over-k"]
+    assert [r.strategy for r in overk.recoveries] == ["safety-checkpoint"]
+    assert overk.fallbacks == {"checkpoint": 1}
+
+    repaired = results["repair-then-crash"]
+    assert [r.strategy for r in repaired.recoveries] == \
+        ["migration", "migration"]
+    assert repaired.recoveries[0].repair_replicas_created > 0
+    assert not repaired.ft_degraded
+
+    degraded = results["degraded"]
+    assert degraded.ft_degraded
+    assert degraded.ft_level_current == 1
+
+    # Same converged values as the failure-free baseline, scenario by
+    # scenario (transparency survives every rung of the ladder).
+    _, base = run(DATASET, ft="none", iterations=6)
+    _, base4 = run(DATASET, ft="none", nodes=4, iterations=6)
+    for name, res in results.items():
+        ref = base4 if name == "degraded" else base
+        for gid, value in ref.values.items():
+            assert res.values[gid] == value or \
+                abs(res.values[gid] - value) <= 1e-9 * abs(value), \
+                f"{name}: vertex {gid} diverged"

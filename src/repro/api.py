@@ -62,6 +62,7 @@ def make_engine(graph: Graph, algorithm: str | VertexProgram,
                 max_iterations: int = 20,
                 checkpoint_interval: int = 1,
                 checkpoint_in_memory: bool = False,
+                safety_checkpoint_interval: int = 0,
                 selfish_optimization: bool = True,
                 num_standby: int = 1,
                 seed: int = 2014,
@@ -70,6 +71,11 @@ def make_engine(graph: Graph, algorithm: str | VertexProgram,
                 cluster: Cluster | None = None,
                 tracer: Tracer | None = None) -> Engine:
     """Build a fully wired :class:`Engine` from keyword-level options.
+
+    ``safety_checkpoint_interval`` (replication modes only) adds
+    opt-in safety-net checkpoints every N barriers so recovery can fall
+    back to checkpoint reload when more than ``ft_level`` nodes fail at
+    once; ``0`` (the default) disables them.
 
     ``data_scale`` projects data-proportional simulated costs to the
     original dataset's scale (see
@@ -93,6 +99,9 @@ def make_engine(graph: Graph, algorithm: str | VertexProgram,
             recovery=recovery,
             checkpoint_interval=checkpoint_interval,
             checkpoint_in_memory=checkpoint_in_memory,
+            safety_checkpoint_interval=(
+                safety_checkpoint_interval
+                if ft_mode is FTMode.REPLICATION else 0),
             selfish_optimization=selfish_optimization),
     )
     if cluster is None and data_scale != 1.0:

@@ -69,12 +69,12 @@ class ChaosController:
         if phase in ("post_commit", "post_recovery"):
             return
         iteration = engine.iteration
-        in_recovery = phase == "recovery"
+        in_recovery = phase in ("recovery", "recovery_protocol")
         for idx, event in enumerate(self.schedule.events):
             if idx in self._fired or idx in self._expired:
                 continue
-            if event.phase == "recovery":
-                if in_recovery and event.iteration == iteration:
+            if event.phase in ("recovery", "recovery_protocol"):
+                if phase == event.phase and event.iteration == iteration:
                     self._fire(engine, idx, event)
                 elif not in_recovery and event.iteration < iteration:
                     self._expired.add(idx)

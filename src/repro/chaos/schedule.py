@@ -38,8 +38,12 @@ from repro.utils.rng import SeededRng
 #: *i* happens before the compute of iteration *i*).
 CRASH_PHASES = ("after_commit", "superstep_start", "gather", "sync",
                 "barrier")
-#: All phases accepted by events, including the recovery-concurrent one.
-EVENT_PHASES = CRASH_PHASES + ("recovery",)
+#: All phases accepted by events, including the recovery-concurrent
+#: ones: ``recovery`` fires as recovery starts, ``recovery_protocol``
+#: fires mid-recovery, after a protocol pass ran but before its result
+#: is final (the engine then restarts recovery with the enlarged
+#: failure set, Section 5.3.2).
+EVENT_PHASES = CRASH_PHASES + ("recovery", "recovery_protocol")
 #: Target predicates resolved against live engine state at fire time.
 TARGET_PREDICATES = ("random", "most-loaded", "least-loaded",
                      "mirror-heaviest", "standby")

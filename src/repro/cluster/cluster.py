@@ -14,7 +14,7 @@ from repro.cluster.node import Node, NodeState
 from repro.cluster.storage import PersistentStore
 from repro.config import ClusterConfig
 from repro.costmodel import CostModel, DEFAULT_COST_MODEL, NodeClocks
-from repro.errors import NoStandbyNodeError, UnknownNodeError
+from repro.errors import ClusterError, NoStandbyNodeError, UnknownNodeError
 
 
 class Cluster:
@@ -66,6 +66,17 @@ class Cluster:
         return sorted(nid for nid, node in self.nodes.items()
                       if node.is_standby)
 
+    def live_standby_nodes(self) -> list[int]:
+        """Standby ids that are actually claimable as Rebirth targets.
+
+        A spare can go bad while idle (heartbeat.py's "spare going
+        bad"); a dead spare must never be handed out, whatever state
+        bookkeeping says, so this filters out crashed nodes explicitly
+        rather than trusting the STANDBY flag alone.
+        """
+        return sorted(nid for nid, node in self.nodes.items()
+                      if node.is_standby and not node.is_crashed)
+
     @property
     def num_workers(self) -> int:
         return self.config.num_nodes
@@ -80,10 +91,10 @@ class Cluster:
         self.network.purge_inbox(node_id)
 
     def claim_standby(self) -> int:
-        """Activate one standby node for Rebirth recovery."""
-        standbys = self.standby_nodes()
+        """Activate one *live* standby node for Rebirth recovery."""
+        standbys = self.live_standby_nodes()
         if not standbys:
-            raise NoStandbyNodeError("no standby node available for Rebirth")
+            raise NoStandbyNodeError("no live standby available for Rebirth")
         nid = standbys[0]
         self.nodes[nid].activate()
         self.coordination.register(nid)
@@ -102,14 +113,33 @@ class Cluster:
         if not crashed.is_crashed:
             raise NoStandbyNodeError(
                 f"node {crashed_id} has not crashed; nothing to replace")
-        standbys = self.standby_nodes()
+        standbys = self.live_standby_nodes()
         if not standbys:
-            raise NoStandbyNodeError("no standby node available for Rebirth")
+            raise NoStandbyNodeError("no live standby available for Rebirth")
         physical = standbys[0]
         del self.nodes[physical]
         incarnation = crashed.incarnation + 1
         fresh = Node(crashed_id, cores=self.config.cores_per_node)
         fresh.incarnation = incarnation
+        self.nodes[crashed_id] = fresh
+        self.detector.forget(crashed_id)
+        self.coordination.register(crashed_id)
+        return fresh
+
+    def restart_node(self, crashed_id: int) -> Node:
+        """Reboot a crashed node's logical id without consuming a spare.
+
+        Used by the checkpoint rung of the fallback ladder: snapshot
+        recovery reloads *everything* from the persistent store, so a
+        re-provisioned machine with empty memory can take the slot even
+        when the standby pool is dry (DESIGN.md §9).
+        """
+        crashed = self.node(crashed_id)
+        if not crashed.is_crashed:
+            raise ClusterError(
+                f"node {crashed_id} has not crashed; nothing to restart")
+        fresh = Node(crashed_id, cores=self.config.cores_per_node)
+        fresh.incarnation = crashed.incarnation + 1
         self.nodes[crashed_id] = fresh
         self.detector.forget(crashed_id)
         self.coordination.register(crashed_id)

@@ -109,6 +109,11 @@ class FaultToleranceConfig:
     checkpoint_in_memory: bool = False
     #: Candidate sample size for randomized FT-replica placement.
     placement_candidates: int = 3
+    #: Safety-net checkpoint interval for REPLICATION mode (iterations
+    #: between low-frequency full snapshots; 0 disables).  When enabled,
+    #: the fallback ladder can recover from >K simultaneous failures by
+    #: reloading the snapshot instead of aborting (DESIGN.md §9).
+    safety_checkpoint_interval: int = 0
 
     def __post_init__(self) -> None:
         if self.ft_level < 0:
@@ -119,6 +124,13 @@ class FaultToleranceConfig:
             raise ConfigError("checkpoint_interval must be >= 1")
         if self.placement_candidates < 1:
             raise ConfigError("placement_candidates must be >= 1")
+        if self.safety_checkpoint_interval < 0:
+            raise ConfigError("safety_checkpoint_interval must be >= 0")
+        if (self.safety_checkpoint_interval
+                and self.mode is not FTMode.REPLICATION):
+            raise ConfigError(
+                "safety_checkpoint_interval only applies to REPLICATION "
+                "mode (CHECKPOINT mode already snapshots)")
 
 
 @dataclass(frozen=True)

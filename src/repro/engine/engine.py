@@ -55,6 +55,7 @@ from repro.engine.state import VertexSlot
 from repro.engine.vertex_program import ApplyContext, VertexProgram
 from repro.errors import (
     EngineError,
+    NoStandbyNodeError,
     UnrecoverableFailureError,
 )
 from repro.ft.checkpoint import CheckpointManager
@@ -97,6 +98,14 @@ class RunResult:
     total_messages: int = 0
     total_bytes: int = 0
     halted_early: bool = False
+    #: Degraded-mode surface (DESIGN.md §9): the minimum mirror count
+    #: across masters at the end of the run, and whether that is below
+    #: the configured ft_level (repair could not fully restore K+1).
+    ft_level_current: int = 0
+    ft_degraded: bool = False
+    #: Fallback-ladder usage: rung name -> times it handled a failure
+    #: the first-choice mechanism could not.
+    fallbacks: dict[str, int] = field(default_factory=dict)
 
     def avg_iteration_time_s(self) -> float:
         times = [s.sim_time_s - s.checkpoint_s for s in self.iteration_stats]
@@ -166,12 +175,25 @@ class Engine:
             # -- fault-tolerance wiring --------------------------------
             self.ckpt: CheckpointManager | None = None
             self.edge_ckpt: EdgeCkptStore | None = None
+            #: REPLICATION composed with low-frequency full snapshots —
+            #: the checkpoint rung of the fallback ladder (DESIGN.md §9).
+            self._safety_ckpt = (
+                self.job.ft.mode is FTMode.REPLICATION
+                and self.job.ft.safety_checkpoint_interval > 0)
             with self.tracer.span("load.ft_init", cat="load",
                                   ft_mode=self.job.ft.mode.value):
                 if self.job.ft.mode is FTMode.CHECKPOINT:
                     self.ckpt = CheckpointManager(
                         self.cluster.store, self.model,
                         interval=self.job.ft.checkpoint_interval,
+                        in_memory=self.job.ft.checkpoint_in_memory,
+                        num_nodes=self.cluster.num_workers,
+                        tracer=self.tracer)
+                    self.ckpt.write_metadata(self.local_graphs)
+                elif self._safety_ckpt:
+                    self.ckpt = CheckpointManager(
+                        self.cluster.store, self.model,
+                        interval=self.job.ft.safety_checkpoint_interval,
                         in_memory=self.job.ft.checkpoint_in_memory,
                         num_nodes=self.cluster.num_workers,
                         tracer=self.tracer)
@@ -200,7 +222,17 @@ class Engine:
         #: Masters whose activity flag must be re-broadcast to replicas
         #: (vertex-cut scheduling).
         self._broadcast_pending: dict[int, set[int]] = defaultdict(set)
+        #: Safety-net mode: cumulative position-independent edge-weight
+        #: log, (src_gid, dst_gid) -> latest weight.  Survives arbitrary
+        #: recoveries between snapshots (unlike the positional CKPT-mode
+        #: journal, which assumes masters never move).
+        self._safety_edge_log: dict[tuple[int, int], float] = {}
+        #: Degraded-mode state (DESIGN.md §9), kept current by
+        #: :meth:`_update_ft_gauges`.
+        self._ft_level_current = 0
+        self._ft_degraded = False
         self._init_values()
+        self._update_ft_gauges()
 
     # ------------------------------------------------------------------
     # public API
@@ -212,7 +244,10 @@ class Engine:
         A plugin exposes ``on_phase(engine, phase)`` and is called at
         every engine phase hook: ``after_commit``, ``superstep_start``,
         ``gather``, ``sync``, ``barrier`` (crash-injection points, in
-        intra-iteration order), plus ``post_commit``, ``recovery`` and
+        intra-iteration order), plus ``post_commit``, ``recovery``,
+        ``recovery_protocol`` (after a recovery protocol ran but before
+        its result is considered final — a crash here restarts recovery
+        with the enlarged failure set, Section 5.3.2) and
         ``post_recovery`` (observation / concurrent-failure points).
         Plugins run in attach order.
         """
@@ -649,14 +684,20 @@ class Engine:
         self._halted = total_active == 0
         span.annotate(active_masters=total_active)
 
-        # Checkpoint inside the barrier (Section 2.2).
+        # Checkpoint inside the barrier (Section 2.2); in REPLICATION
+        # mode this is the opt-in low-frequency safety net instead.
         ckpt_time = 0.0
         if self.ckpt is not None and self.ckpt.due(self.iteration):
-            ckpt_time = self.ckpt.checkpoint(self.iteration,
-                                             self.local_graphs,
-                                             self.program, alive,
-                                             self._edge_journal)
-            self._edge_journal = defaultdict(list)
+            if self._safety_ckpt:
+                ckpt_time = self.ckpt.safety_checkpoint(
+                    self.iteration, self.local_graphs, self.program,
+                    alive, self._safety_edge_log)
+            else:
+                ckpt_time = self.ckpt.checkpoint(self.iteration,
+                                                 self.local_graphs,
+                                                 self.program, alive,
+                                                 self._edge_journal)
+                self._edge_journal = defaultdict(list)
             for node in alive:
                 self.cluster.clocks.advance(node, ckpt_time)
         return ckpt_time
@@ -693,8 +734,13 @@ class Engine:
                                 EdgeRecord(lg.slots[src_pos].gid, slot.gid,
                                            weight))
                         if self.ckpt is not None:
-                            self._edge_journal[node].append(
-                                (slot.gid, idx, weight))
+                            if self._safety_ckpt:
+                                self._safety_edge_log[
+                                    (lg.slots[src_pos].gid, slot.gid)] = \
+                                    weight
+                            else:
+                                self._edge_journal[node].append(
+                                    (slot.gid, idx, weight))
             self._edge_updates = defaultdict(list)
 
     def _commit_values(self, alive: list[int], net) -> int:
@@ -838,24 +884,52 @@ class Engine:
         if mode is FTMode.NONE:
             raise UnrecoverableFailureError(
                 f"nodes {list(failed)} crashed and fault tolerance is "
-                f"disabled (BASE configuration)")
+                f"disabled (BASE configuration)",
+                surviving_nodes=tuple(alive))
+        # A crash landing *mid-protocol* must not be deferred to the
+        # next barrier: re-poll the detector after each protocol pass
+        # and restart recovery for the enlarged failure set
+        # (Section 5.3.2).  The loop terminates because the detector is
+        # edge-triggered — each restart needs a *fresh* crash, and only
+        # finitely many machines can crash between two barriers.
+        first = True
+        while True:
+            self._recover_once(failed, detection if first else 0.0)
+            first = False
+            self._chaos_point("recovery_protocol")
+            extra = self.cluster.detector.newly_failed()
+            if not extra:
+                break
+            # Each ladder pass commits atomically, so nodes already
+            # recovered are healthy again; the restarted protocol must
+            # target only the nodes that are *still* down (a recovery
+            # pass aimed at a live node would wrongly evict its state).
+            failed = tuple(sorted(
+                set(extra) | {n for n in failed
+                              if self.cluster.node(n).is_crashed}))
+            self.metrics.inc("recovery.restarts")
+            self.tracer.instant("recovery.restart", cat="recovery",
+                                failed_nodes=list(failed))
+        # Post-recovery FT repair and degraded-mode assessment run
+        # before the ``post_recovery`` hook, so chaos invariants observe
+        # the repaired replication level (DESIGN.md §9).
+        self._repair_ft_level()
+        self._refresh_broadcast_state()
+        post = self.cluster.clocks.barrier(self.model, self._alive())
+        self._last_barrier_clock = post
+        self._chaos_point("post_recovery")
+
+    def _recover_once(self, failed: tuple[int, ...],
+                      detection: float) -> None:
+        """Run one pass of the fallback ladder and commit its result."""
         at_iteration = self.iteration
         with self.tracer.span("recovery.protocol", cat="recovery",
                               failed_nodes=list(failed)) as sp:
-            if mode is FTMode.CHECKPOINT:
-                outcome = self._checkpoint_recover(failed)
-            else:
-                from repro.ft.migration import MigrationRecovery
-                from repro.ft.rebirth import RebirthRecovery
-                if self.job.ft.recovery is RecoveryStrategy.REBIRTH:
-                    recovery = RebirthRecovery(self)
-                else:
-                    recovery = MigrationRecovery(self)
-                outcome = recovery.recover(failed)
+            outcome, rung = self._recovery_ladder(failed)
             # Protocol phase times are cost-model aggregates, not lived
             # through the clock; clocks advance below, after the span.
             sp.set_sim(outcome.stats.total_s)
-            sp.annotate(strategy=outcome.stats.strategy,
+            sp.annotate(strategy=outcome.stats.strategy, rung=rung,
                         vertices=outcome.stats.vertices_recovered,
                         recovery_bytes=outcome.stats.recovery_bytes)
         outcome.stats.detection_s = detection
@@ -868,14 +942,167 @@ class Engine:
         self.metrics.inc("recovery.failed_nodes", len(failed))
         self.metrics.inc("recovery.sim_s", outcome.stats.total_s)
         self.metrics.inc("recovery.bytes", outcome.stats.recovery_bytes)
-        self._refresh_broadcast_state()
+        first_choice = ("checkpoint"
+                        if self.job.ft.mode is FTMode.CHECKPOINT
+                        else self.job.ft.recovery.value)
+        if rung != first_choice:
+            self.metrics.inc(f"recovery.fallback.by_rung.{rung}")
+            self.tracer.instant("recovery.fallback", cat="recovery",
+                                rung=rung, first_choice=first_choice)
         # Recovery time advances every participant's clock.
-        participants = self._alive()
-        for node in participants:
+        for node in self._alive():
             self.cluster.clocks.advance(node, outcome.stats.total_s)
-        post = self.cluster.clocks.barrier(self.model, participants)
-        self._last_barrier_clock = post
-        self._chaos_point("post_recovery")
+
+    def _recovery_ladder(self, failed: tuple[int, ...]
+                         ) -> tuple[RecoveryOutcome, str]:
+        """Try the recovery rungs in order; return (outcome, rung used).
+
+        REPLICATION-mode ladder (DESIGN.md §9):
+
+        1. the configured strategy — Rebirth only when enough *live*
+           standbys exist (the pre-check keeps a doomed Rebirth from
+           consuming spares and emptying local graphs);
+        2. Migration across the survivors when standbys are exhausted;
+        3. the opt-in safety-net checkpoint when replication itself is
+           exhausted (some vertex lost every copy) or the in-memory
+           rungs failed.
+
+        Only when every applicable rung fails does
+        :class:`UnrecoverableFailureError` propagate, carrying the
+        rungs attempted, the lost-vertex count and the survivors.
+        """
+        from repro.ft import _recovery_common as common
+        from repro.ft.migration import MigrationRecovery
+        from repro.ft.rebirth import RebirthRecovery
+        if self.job.ft.mode is FTMode.CHECKPOINT:
+            return self._checkpoint_recover(failed), "checkpoint"
+        failed_set = set(failed)
+        survivors = [n for n in self._alive() if n not in failed_set]
+        attempted: list[str] = []
+        first_error: UnrecoverableFailureError | None = None
+        lost = common.find_lost_vertices(self, failed_set)
+        if not lost:
+            if self.job.ft.recovery is RecoveryStrategy.REBIRTH:
+                still_crashed = [n for n in failed
+                                 if self.cluster.node(n).is_crashed]
+                spares = self.cluster.live_standby_nodes()
+                if len(spares) >= len(still_crashed):
+                    attempted.append("rebirth")
+                    try:
+                        return (RebirthRecovery(self).recover(failed),
+                                "rebirth")
+                    except NoStandbyNodeError:  # raced the pre-check
+                        attempted[-1] = "rebirth:standby-exhausted"
+                    except UnrecoverableFailureError as err:
+                        first_error = err
+                else:
+                    attempted.append("rebirth:standby-exhausted")
+                    self.tracer.instant(
+                        "recovery.standby_exhausted", cat="recovery",
+                        spares=len(spares), needed=len(still_crashed))
+            if survivors:
+                attempted.append("migration")
+                try:
+                    return (MigrationRecovery(self).recover(failed),
+                            "migration")
+                except UnrecoverableFailureError as err:
+                    first_error = first_error or err
+            else:
+                attempted.append("migration:no-survivors")
+        else:
+            attempted.append("replication:exhausted")
+        if self._safety_ckpt:
+            attempted.append("checkpoint")
+            return self._safety_checkpoint_recover(failed), "checkpoint"
+        lost_count = len(lost) or (first_error.lost_vertices
+                                   if first_error else 0)
+        raise UnrecoverableFailureError(
+            f"no recovery rung could handle the failure of nodes "
+            f"{sorted(failed_set)} (attempted: "
+            f"{', '.join(attempted) or 'none'}; {lost_count} vertices "
+            f"lost every copy)",
+            lost_vertices=lost_count,
+            rungs_attempted=tuple(attempted),
+            surviving_nodes=tuple(survivors))
+
+    def _repair_ft_level(self) -> None:
+        """Post-recovery FT repair (DESIGN.md §9).
+
+        After any successful recovery — whatever the rung — scan the
+        survivors' masters for vertices whose replication level dropped
+        below K+1 and re-create FT replicas/mirrors with the loading-
+        time placement heuristics (Section 4.1), so a second failure a
+        few supersteps later finds full coverage again.  Charged to the
+        cost model and traced as ``recovery.repair``; what repair
+        *cannot* restore (too few survivors) becomes explicit degraded
+        state instead of silent under-protection.
+        """
+        from repro.ft import _recovery_common as common
+        k = self.job.ft.ft_level
+        if self.job.ft.mode is not FTMode.REPLICATION or k <= 0:
+            self._update_ft_gauges()
+            return
+        alive = self._alive()
+        with self.tracer.span("recovery.repair", cat="recovery") as sp:
+            deficit: list[int] = []
+            scan_cost: dict[int, int] = defaultdict(int)
+            for node in alive:
+                lg = self.local_graphs[node]
+                for slot in lg.iter_masters():
+                    scan_cost[node] += 1
+                    meta = slot.meta
+                    if (len(meta.mirror_nodes) < k
+                            or len(meta.replica_positions) < k):
+                        deficit.append(slot.gid)
+            created, bytes_sent = 0, 0
+            if deficit:
+                created, bytes_sent = common.restore_ft_level(
+                    self, sorted(deficit), "recovery-repair")
+            # Cost: parallel per-node master scan, plus replica state
+            # transfer and one coordination round when work was done.
+            scale = self.model.data_scale
+            repair_s = (max(scan_cost.values(), default=0)
+                        * self.model.per_vertex_scan_s * scale)
+            if created:
+                repair_s += (created * self.model.per_vertex_reconstruct_s
+                             * scale / max(1, len(alive))
+                             + self.model.recovery_round_s)
+            sp.set_sim(repair_s)
+            sp.annotate(vertices=len(deficit), replicas_created=created,
+                        repair_bytes=bytes_sent)
+            for node in alive:
+                self.cluster.clocks.advance(node, repair_s)
+        if self.recoveries:
+            stats = self.recoveries[-1]
+            stats.repair_s += repair_s
+            stats.repaired_vertices += len(deficit)
+            stats.repair_replicas_created += created
+            stats.repair_bytes += bytes_sent
+        self.metrics.inc("recovery.repair.sim_s", repair_s)
+        self.metrics.inc("recovery.repair.replicas", created)
+        self.metrics.inc("recovery.repair.bytes", bytes_sent)
+        self._update_ft_gauges()
+
+    def _update_ft_gauges(self) -> None:
+        """Publish the degraded-mode surface (DESIGN.md §9)."""
+        k = self.job.ft.ft_level
+        if self.job.ft.mode is not FTMode.REPLICATION or k <= 0:
+            self._ft_level_current = 0
+            self._ft_degraded = False
+            return
+        level = k
+        for node in self._alive():
+            for slot in self.local_graphs[node].iter_masters():
+                level = min(level, len(slot.meta.mirror_nodes))
+            if level == 0:
+                break
+        self._ft_level_current = level
+        self._ft_degraded = level < k
+        self.metrics.set_gauge("ft.level_current", level)
+        self.metrics.set_gauge("ft.degraded", self._ft_degraded)
+        if self._ft_degraded:
+            self.tracer.instant("ft.degraded", cat="recovery",
+                                level=level, configured=k)
 
     def _refresh_broadcast_state(self) -> None:
         """Re-derive the vertex-cut activity-broadcast queue.
@@ -945,6 +1172,72 @@ class Engine:
         )
         return RecoveryOutcome(stats=recovery, joined_nodes=failed)
 
+    def _safety_checkpoint_recover(self, failed: tuple[int, ...]
+                                   ) -> RecoveryOutcome:
+        """Checkpoint rung of the fallback ladder (DESIGN.md §9).
+
+        Reached when replication is exhausted (some vertex lost every
+        copy) or the in-memory rungs failed; rebuilds the *whole*
+        cluster state from the latest safety snapshot.  Earlier
+        recoveries may have migrated masters anywhere, so every local
+        graph is rebuilt pristine from the deterministic loading inputs
+        and the globally-merged snapshot is applied on top.  With no
+        snapshot written yet the run restarts from iteration 0.
+        """
+        assert self.ckpt is not None
+        # Re-provision each still-crashed id: a live spare if one
+        # exists, else a rebooted machine — snapshot recovery needs no
+        # surviving memory, so a fresh node can always take the slot.
+        for node in failed:
+            if not self.cluster.node(node).is_crashed:
+                continue  # replaced by a partially-run earlier rung
+            if self.cluster.live_standby_nodes():
+                self.cluster.replace_node(node)
+            else:
+                self.cluster.restart_node(node)
+        alive = self._alive()
+        rebuilt_all, _ = build_local_graphs(self.graph, self.partitioning,
+                                            self.plan)
+        for node in sorted(rebuilt_all):
+            self.local_graphs[node] = rebuilt_all[node]
+            self.cluster.node(node).local = rebuilt_all[node]
+        self.master_node_of = [int(n) for n in self.plan.master_of]
+        self._init_values()
+        self._edge_journal = defaultdict(list)
+        stats = self.ckpt.recover_safety(self.local_graphs, self.program,
+                                         alive, self.initial_value_of)
+        reconstruct_s = self._full_resync(alive)
+        self.tracer.record("checkpoint.reconstruct", reconstruct_s,
+                           cat="recovery")
+        if self.edge_ckpt is not None:
+            self._rewrite_edge_ckpt_files()
+        lost = self.iteration - stats.resume_iteration
+        self.iteration = stats.resume_iteration
+        recovery = RecoveryStats(
+            strategy="safety-checkpoint",
+            failed_nodes=failed,
+            newbie_nodes=failed,
+            reload_s=stats.reload_s,
+            reconstruct_s=reconstruct_s,
+            replay_s=0.0,  # replay happens as re-executed iterations
+            vertices_recovered=stats.vertices_restored,
+            recovery_bytes=stats.bytes_read,
+            replayed_iterations=max(0, lost),
+        )
+        return RecoveryOutcome(stats=recovery, joined_nodes=failed)
+
+    def _rewrite_edge_ckpt_files(self) -> None:
+        """Re-derive the vertex-cut edge files after a global restore.
+
+        The pristine rebuild invalidated every existing file: stray
+        receivers and update records appended by recoveries after the
+        snapshot would otherwise duplicate edges in a later Migration.
+        """
+        assert self.edge_ckpt is not None
+        for node in range(self.cluster.num_workers):
+            self.edge_ckpt.clear_node(node)
+        self._write_edge_ckpt_files()
+
     def _full_resync(self, alive: list[int]) -> float:
         """Masters re-push full state to every replica (reconstruction).
 
@@ -1000,6 +1293,12 @@ class Engine:
             total_messages=totals.total_msgs,
             total_bytes=totals.total_bytes,
             halted_early=self._halted,
+            ft_level_current=self._ft_level_current,
+            ft_degraded=self._ft_degraded,
+            fallbacks={
+                key[len("recovery.fallback.by_rung."):]: int(value)
+                for key, value in self.metrics.counters(
+                    "recovery.fallback.by_rung.").items()},
         )
 
 

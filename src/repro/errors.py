@@ -76,15 +76,21 @@ class FaultToleranceError(ReproError):
 
 
 class UnrecoverableFailureError(FaultToleranceError):
-    """More nodes failed than the configured fault-tolerance level covers.
+    """Every recovery rung failed; the run cannot continue.
 
-    Raised when a vertex lost every replica (master and all mirrors), so
-    its state cannot be reconstructed from memory.  A checkpoint-based
-    configuration never raises this (it falls back to the snapshot).
+    Raised when a vertex lost every replica (master and all mirrors) and
+    no checkpoint exists to fall back to, or when no recovery mechanism
+    is configured at all.  Carries structured context so callers and
+    operators can see *which* rungs of the fallback ladder were tried
+    before giving up (DESIGN.md §9).
     """
 
-    def __init__(self, message: str, lost_vertices: int = 0):
+    def __init__(self, message: str, lost_vertices: int = 0,
+                 rungs_attempted: tuple[str, ...] = (),
+                 surviving_nodes: tuple[int, ...] = ()):
         self.lost_vertices = lost_vertices
+        self.rungs_attempted = tuple(rungs_attempted)
+        self.surviving_nodes = tuple(surviving_nodes)
         super().__init__(message)
 
 

@@ -312,6 +312,27 @@ def recompute_selfish_masters(engine: "Engine", gids: list[int]) -> int:
     return edges
 
 
+def find_lost_vertices(engine: "Engine", failed: set[int]) -> list[int]:
+    """Gids of dead masters no surviving mirror can recover.
+
+    A cheap survivor-side scan (no mutation), run *before* any rung of
+    the fallback ladder mutates cluster state: only mirrors hold the
+    master's full state (plain FT replicas carry neither metadata nor
+    edge backups), so a master is in-memory recoverable iff at least
+    one of its mirrors survives.  Anything else needs the checkpoint
+    rung — or is genuinely unrecoverable.
+    """
+    covered: set[int] = set()
+    for node in engine._alive():
+        if node in failed:
+            continue
+        for slot in engine.local_graphs[node].iter_slots():
+            if slot.is_mirror and slot.master_node in failed:
+                covered.add(slot.gid)
+    return [gid for gid, node in enumerate(engine.master_node_of)
+            if node in failed and gid not in covered]
+
+
 def restore_ft_level(engine: "Engine", gids: list[int],
                      seed_label: str) -> tuple[int, int]:
     """Re-create FT replicas and mirrors for the given master vertices.

@@ -63,6 +63,14 @@ def _meta_path(node: int) -> str:
     return f"ckpt/meta/node{node}"
 
 
+def _safety_path(node: int, iteration: int) -> str:
+    return f"ckpt/safety/node{node}/iter{iteration:06d}"
+
+
+def _safety_edges_path(iteration: int) -> str:
+    return f"ckpt/safety/edges/iter{iteration:06d}"
+
+
 class CheckpointManager:
     """Writes and restores Imitator-CKPT snapshots for one job."""
 
@@ -153,6 +161,141 @@ class CheckpointManager:
                            iteration=iteration,
                            ckpt_bytes=self.stats.bytes_written)
         return slowest
+
+    # -- safety-net snapshots (REPLICATION fallback ladder) ----------------
+
+    def safety_checkpoint(self, iteration: int,
+                          local_graphs: dict[int, LocalGraph],
+                          program: VertexProgram,
+                          alive_nodes: list[int],
+                          edge_log: dict[tuple[int, int], float] | None = None
+                          ) -> float:
+        """Write one *full* master snapshot for the fallback ladder.
+
+        Unlike the incremental CKPT-mode snapshots, safety snapshots
+        must survive arbitrary recoveries in between: Migration moves
+        masters across nodes, so a per-node delta chain cannot be
+        replayed after the fact.  Each node therefore writes all of its
+        current masters, and recovery merges the latest iteration's
+        files from every node into one global gid-keyed map.  Edge
+        mutations are stored as a cumulative position-independent
+        ``(src_gid, dst_gid) -> weight`` log for the same reason.
+        """
+        slowest = 0.0
+        for node in alive_nodes:
+            lg = local_graphs[node]
+            masters: dict[int, tuple[Any, bool, bool, int, bool]] = {}
+            nbytes = 0
+            for slot in lg.iter_masters():
+                masters[slot.gid] = (slot.value, slot.active,
+                                     slot.last_activates,
+                                     slot.last_update_iter,
+                                     slot.mirror_self_active)
+                nbytes += (BYTES_PER_VID
+                           + program.value_nbytes(slot.value) + 3)
+            payload = {"masters": masters, "iteration": iteration}
+            self.store.write(_safety_path(node, iteration), payload, nbytes)
+            serialise = (len(masters) * self.model.ckpt_per_record_s
+                         * self.model.data_scale)
+            slowest = max(slowest, serialise + storage_write_time(
+                self.model, nbytes, 1, self.in_memory))
+            self.stats.bytes_written += nbytes
+        if edge_log:
+            nbytes = 12 * len(edge_log)
+            self.store.write(_safety_edges_path(iteration),
+                             dict(edge_log), nbytes)
+            self.stats.bytes_written += nbytes
+            slowest = max(slowest, storage_write_time(
+                self.model, nbytes, 1, self.in_memory))
+        self.stats.checkpoints_written += 1
+        self.stats.time_spent_s += slowest
+        self.stats.last_checkpoint_iteration = iteration
+        self.tracer.record("barrier.safety_checkpoint", slowest,
+                           cat="checkpoint", iteration=iteration,
+                           ckpt_bytes=self.stats.bytes_written)
+        return slowest
+
+    def recover_safety(self, local_graphs: dict[int, LocalGraph],
+                       program: VertexProgram,
+                       alive_nodes: list[int],
+                       initial_value_of) -> CheckpointRecoveryStats:
+        """Restore freshly-rebuilt masters from the latest safety snapshot.
+
+        Expects ``local_graphs`` rebuilt pristine from the loading
+        inputs (masters back at their original homes), so the globally
+        merged snapshot can be applied wherever each master now lives.
+        With no snapshot written yet the run restarts from iteration 0;
+        only initial values are applied.
+        """
+        stats = CheckpointRecoveryStats()
+        last = self.stats.last_checkpoint_iteration
+        stats.resume_iteration = last + 1
+        merged: dict[int, tuple[Any, bool, bool, int, bool]] = {}
+        edges: dict[tuple[int, int], float] = {}
+        nbytes = 0
+        num_reads = 1  # the metadata snapshot
+        if last >= 0:
+            for node in range(self.num_nodes):
+                path = _safety_path(node, last)
+                if not self.store.exists(path):
+                    continue
+                payload = self.store.read(path)
+                nbytes += self.store.stat(path).nbytes
+                num_reads += 1
+                merged.update(payload["masters"])
+            epath = _safety_edges_path(last)
+            if self.store.exists(epath):
+                edges = dict(self.store.read(epath))
+                nbytes += self.store.stat(epath).nbytes
+                num_reads += 1
+        for node in alive_nodes:
+            lg = local_graphs[node]
+            for slot in lg.iter_masters():
+                if slot.gid in merged:
+                    (value, active, activates,
+                     update_iter, self_active) = merged[slot.gid]
+                    slot.value = value
+                    slot.last_activates = activates
+                    slot.last_update_iter = update_iter
+                    slot.mirror_self_active = self_active
+                    lg.set_active(slot, active)
+                else:
+                    slot.value = initial_value_of(slot.gid)
+                    slot.last_activates = False
+                    slot.last_update_iter = -1
+                    lg.set_active(slot,
+                                  program.is_initially_active(slot.gid))
+                slot.clear_pending()
+                stats.vertices_restored += 1
+            if edges:
+                self._apply_edge_log(lg, edges)
+        stats.bytes_read = nbytes
+        deserialise = (len(merged) * self.model.ckpt_per_record_s
+                       * self.model.data_scale)
+        stats.reload_s = deserialise + storage_read_time(
+            self.model, nbytes, num_reads, self.in_memory)
+        self.tracer.record("safety_checkpoint.reload", stats.reload_s,
+                           cat="recovery", bytes_read=stats.bytes_read,
+                           vertices=stats.vertices_restored,
+                           resume_iteration=stats.resume_iteration)
+        return stats
+
+    @staticmethod
+    def _apply_edge_log(lg: LocalGraph,
+                        edges: dict[tuple[int, int], float]) -> None:
+        """Re-apply mutated edge weights to every local copy by gid pair."""
+        for slot in lg.iter_slots():
+            for i, (src_pos, weight) in enumerate(slot.in_edges):
+                src = lg.slots[src_pos]
+                if src is None:
+                    continue
+                key = (src.gid, slot.gid)
+                if key in edges and edges[key] != weight:
+                    slot.in_edges[i] = (src_pos, edges[key])
+            for i, (src_gid, pos, weight) in enumerate(slot.full_edges or ()):
+                key = (src_gid, slot.gid)
+                if key in edges and edges[key] != weight:
+                    slot.full_edges[i] = (src_gid, pos, edges[key])
 
     # -- recovery ---------------------------------------------------------------
 

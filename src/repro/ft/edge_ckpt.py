@@ -129,3 +129,18 @@ class EdgeCkptStore:
         if not self.store.exists(path):
             return 0
         return self.store.stat(path).nbytes
+
+    # -- pristine rewrite ------------------------------------------------
+
+    def clear_node(self, owner_node: int) -> None:
+        """Drop every file of one owner before a from-scratch rewrite.
+
+        Checkpoint-rung recovery rebuilds all local graphs from the
+        loading inputs and rewrites the edge-ckpt files; stale receiver
+        files and appended update records from recoveries that happened
+        after the snapshot must not survive the rewrite, or a later
+        Migration would reload edges twice.
+        """
+        for path in list(self.store.listdir(f"edge-ckpt/node{owner_node}")):
+            self.store.delete(path)
+        self.loading_bytes.pop(owner_node, None)

@@ -13,9 +13,11 @@ survivors.
   edge-ckpt file of the crashed node from persistent storage, in
   parallel (Section 5.2.1), creating missing endpoint replicas the same
   way.
-* Location updates flow to every surviving copy, new FT replicas and
-  mirrors restore the fault-tolerance level (invariant P6), and the
-  replay phase fixes activation state for the promoted masters only.
+* Location updates flow to every surviving copy, and the replay phase
+  fixes activation state for the promoted masters only.  Restoring the
+  fault-tolerance level (invariant P6: new FT replicas + mirrors) is
+  the engine's post-recovery repair pass, shared by every recovery
+  strategy (DESIGN.md §9).
 """
 
 from __future__ import annotations
@@ -49,7 +51,10 @@ class MigrationRecovery:
         stats = RecoveryStats(strategy="migration", failed_nodes=failed)
         survivors = [n for n in engine._alive() if n not in failed_set]
         if not survivors:
-            raise UnrecoverableFailureError("every worker node crashed")
+            raise UnrecoverableFailureError(
+                "every worker node crashed",
+                lost_vertices=len(engine.master_node_of),
+                rungs_attempted=("migration",))
         last_commit = common.last_committed_iteration(engine)
 
         # ---------------- Reloading: promotion ----------------
@@ -76,9 +81,10 @@ class MigrationRecovery:
             engine.master_node_of[gid] = node
         stats.vertices_recovered += len(promotions)
 
-        # Surviving masters drop crashed replica locations; those that
-        # lost a mirror must restore their fault-tolerance level too.
-        lost_mirror_gids: list[int] = []
+        # Surviving masters drop crashed replica locations.  Restoring
+        # the fault-tolerance level for vertices that lost copies is the
+        # engine's post-recovery repair pass (it runs after *every*
+        # successful recovery, whatever the rung — DESIGN.md §9).
         for node in survivors:
             lg = engine.local_graphs[node]
             for slot in lg.iter_slots():
@@ -88,15 +94,11 @@ class MigrationRecovery:
                 for crashed in list(meta.replica_positions):
                     if crashed in failed_set:
                         del meta.replica_positions[crashed]
-                survived_mirrors = [n for n in meta.mirror_nodes
-                                    if n not in failed_set]
-                if (slot.is_master
-                        and len(survived_mirrors) < len(meta.mirror_nodes)):
-                    lost_mirror_gids.append(slot.gid)
                 # Mirrors' metadata copies must be pruned too: one of
                 # them may be promoted to master in a *later* failure
                 # and would otherwise resurrect dead replica locations.
-                meta.mirror_nodes = survived_mirrors
+                meta.mirror_nodes = [n for n in meta.mirror_nodes
+                                     if n not in failed_set]
 
         # ---------------- Reloading: edges ----------------
         net = engine.cluster.network
@@ -127,12 +129,6 @@ class MigrationRecovery:
         for node in survivors:
             net.deliver(node)
 
-        # Restore the fault-tolerance level (new FT replicas + mirrors).
-        created, ft_bytes = common.restore_ft_level(
-            engine, sorted(set(promoted_by_gid) | set(lost_mirror_gids)),
-            "migration-ft")
-        stats.recovery_bytes += ft_bytes
-
         scale = model.data_scale
         reload_times = []
         for node in survivors:
@@ -141,7 +137,7 @@ class MigrationRecovery:
                                       node)
             reload_times.append(scan + comm)
         # Migration needs several cluster-wide coordination rounds:
-        # promotion, replica creation, location updates, FT restoration
+        # promotion, replica creation, location updates, commit
         # (Section 6.4: "multiple rounds of message exchanges").
         rounds = 4
         stats.reload_s = (max(max(reload_times, default=0.0), dfs_time)
@@ -155,7 +151,6 @@ class MigrationRecovery:
         stats.reconstruct_s = (
             len(promotions) * model.per_vertex_reconstruct_s
             + edges_relinked * model.per_edge_compute_s
-            + created * model.per_vertex_reconstruct_s
         ) * scale / max(1, len(survivors))
 
         # ---------------- Replay ----------------
@@ -172,8 +167,7 @@ class MigrationRecovery:
                       promotions=len(promotions),
                       coordination_rounds=rounds)
         tracer.record("migration.reconstruct", stats.reconstruct_s,
-                      cat="recovery", edges=edges_relinked,
-                      replicas_created=created)
+                      cat="recovery", edges=edges_relinked)
         tracer.record("migration.replay", stats.replay_s, cat="recovery",
                       replay_ops=replay_ops)
         return RecoveryOutcome(
@@ -197,7 +191,10 @@ class MigrationRecovery:
                 f"{len(lost)} vertices lost every copy "
                 f"(e.g. vertex {lost[0]}); ft_level "
                 f"{engine.job.ft.ft_level} cannot cover nodes "
-                f"{sorted(failed_set)}", lost_vertices=len(lost))
+                f"{sorted(failed_set)}", lost_vertices=len(lost),
+                rungs_attempted=("migration",),
+                surviving_nodes=tuple(
+                    n for n in engine._alive() if n not in failed_set))
 
     def _promote(self, gid: int, node: int, failed_set: set[int]) -> None:
         """Turn a surviving mirror into the vertex's master."""

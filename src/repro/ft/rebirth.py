@@ -214,7 +214,10 @@ class RebirthRecovery:
                 f"{len(lost)} vertices lost every copy "
                 f"(e.g. vertex {lost[0]}); ft_level "
                 f"{engine.job.ft.ft_level} cannot cover nodes "
-                f"{sorted(failed_set)}", lost_vertices=len(lost))
+                f"{sorted(failed_set)}", lost_vertices=len(lost),
+                rungs_attempted=("rebirth",),
+                surviving_nodes=tuple(
+                    n for n in engine._alive() if n not in failed_set))
 
     def _link_vertex_cut(self, lg: LocalGraph, records) -> int:
         """Rebuild a vertex-cut newbie's topology from edge-ckpt files."""

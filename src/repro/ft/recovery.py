@@ -37,6 +37,13 @@ class RecoveryStats:
     replayed_iterations: int = 0
     #: The iteration at which the failure was handled.
     at_iteration: int = 0
+    #: Post-recovery FT repair (engine pass re-creating replicas for
+    #: vertices below K+1; DESIGN.md §9).  Charged separately from the
+    #: three recovery phases, so ``total_s`` keeps its paper meaning.
+    repair_s: float = 0.0
+    repaired_vertices: int = 0
+    repair_replicas_created: int = 0
+    repair_bytes: int = 0
 
     @property
     def total_s(self) -> float:
