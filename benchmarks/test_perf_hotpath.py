@@ -1,0 +1,156 @@
+"""Wall-clock and allocation microbenchmark for the sync hot path.
+
+Unlike the figure benchmarks, this file does not reproduce a paper
+result — it measures the *implementation*: per-superstep wall-clock,
+physical message-object allocations, and peak traced memory of a
+PageRank run with the batched columnar transport (the default) against
+the unbatched compatibility mode (``batch_syncs=False``), on both
+partitioning families.  Fixed seeds throughout; results land in
+``BENCH_perf_hotpath.json`` at the repo root (DESIGN.md §10).
+
+Two gates:
+
+* ``test_message_object_reduction`` — batching must cut per-superstep
+  physical ``Message`` allocations by at least 3x (a hard floor; real
+  runs land far above it because supersteps ship thousands of records
+  between dozens of node pairs).
+* ``test_no_wallclock_regression`` — only with ``PERF_BASELINE_CHECK=1``
+  (the CI perf-smoke job): the batched per-superstep wall-clock must
+  stay within 2x of the committed baseline.  Skipped by default so
+  laptop noise never fails a local run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import tracemalloc
+from pathlib import Path
+
+import pytest
+
+from repro.api import make_engine
+from repro.graph import generators
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / \
+    "BENCH_perf_hotpath.json"
+
+NUM_NODES = 8
+ITERATIONS = 6
+PARTITIONS = ("hash_edge_cut", "hybrid_cut")
+
+#: Baseline as committed, captured before this run overwrites the file.
+try:
+    _COMMITTED = json.loads(BENCH_PATH.read_text())
+except (OSError, ValueError):
+    _COMMITTED = None
+
+#: (partition, batch_syncs) -> measurement record, filled lazily.
+_RESULTS: dict[tuple[str, bool], dict] = {}
+
+
+def _measure(partition: str, batch_syncs: bool) -> dict:
+    key = (partition, batch_syncs)
+    if key in _RESULTS:
+        return _RESULTS[key]
+    graph = generators.power_law(800, alpha=2.0, seed=7,
+                                 avg_degree=6.0, name="perf800")
+    engine = make_engine(graph, "pagerank", num_nodes=NUM_NODES,
+                         partition=partition,
+                         max_iterations=ITERATIONS,
+                         batch_syncs=batch_syncs)
+    tracemalloc.start()
+    start = time.perf_counter()
+    result = engine.run()
+    wall_s = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    totals = engine.cluster.network.totals
+    steps = max(result.num_iterations, 1)
+    _RESULTS[key] = {
+        "partition": partition,
+        "batch_syncs": batch_syncs,
+        "iterations": result.num_iterations,
+        "wall_s": wall_s,
+        "wall_per_superstep_s": wall_s / steps,
+        "logical_records": totals.total_msgs,
+        "message_objects": totals.total_batches,
+        "message_objects_per_superstep": totals.total_batches / steps,
+        "wire_bytes": totals.total_bytes,
+        "peak_traced_bytes": peak,
+        "syncs_elided": engine.syncs_elided,
+    }
+    _flush()
+    return _RESULTS[key]
+
+
+def _flush() -> None:
+    """Rewrite the JSON with every measurement taken so far."""
+    runs = [_RESULTS[k] for k in sorted(_RESULTS, key=str)]
+    summary = {}
+    for partition in PARTITIONS:
+        before = _RESULTS.get((partition, False))
+        after = _RESULTS.get((partition, True))
+        if not (before and after):
+            continue
+        summary[partition] = {
+            "message_object_reduction":
+                before["message_objects"] / max(after["message_objects"], 1),
+            "wall_speedup": before["wall_s"] / max(after["wall_s"], 1e-9),
+            "wire_bytes_saved":
+                before["wire_bytes"] - after["wire_bytes"],
+        }
+    BENCH_PATH.write_text(json.dumps(
+        {"figure": "perf_hotpath",
+         "workload": {"graph": "power_law(800, alpha=2.0, seed=7)",
+                      "algorithm": "pagerank", "nodes": NUM_NODES,
+                      "iterations": ITERATIONS},
+         "runs": runs, "summary": summary},
+        indent=2, sort_keys=True) + "\n")
+
+
+@pytest.mark.parametrize("partition", PARTITIONS)
+def test_message_object_reduction(partition):
+    before = _measure(partition, batch_syncs=False)
+    after = _measure(partition, batch_syncs=True)
+    # Same logical traffic either way: batching only changes packaging.
+    assert after["logical_records"] == before["logical_records"]
+    assert after["iterations"] == before["iterations"]
+    reduction = before["message_objects"] / max(after["message_objects"], 1)
+    print(f"\n{partition}: {before['message_objects']} -> "
+          f"{after['message_objects']} message objects "
+          f"({reduction:.1f}x), wall "
+          f"{before['wall_s']:.3f}s -> {after['wall_s']:.3f}s")
+    assert reduction >= 3.0
+    # Fewer physical messages means fewer 16-byte headers on the wire.
+    assert after["wire_bytes"] < before["wire_bytes"]
+
+
+@pytest.mark.parametrize("partition", PARTITIONS)
+def test_batched_is_not_slower(partition):
+    """Sanity margin, not a tight gate: the batched path must not be
+    dramatically slower than the per-record path it replaces.  (The
+    2x regression gate against the committed baseline runs in CI with
+    ``PERF_BASELINE_CHECK=1``.)"""
+    before = _measure(partition, batch_syncs=False)
+    after = _measure(partition, batch_syncs=True)
+    assert after["wall_s"] < before["wall_s"] * 1.5
+
+
+@pytest.mark.skipif(os.environ.get("PERF_BASELINE_CHECK") != "1",
+                    reason="set PERF_BASELINE_CHECK=1 to gate against "
+                           "the committed baseline")
+@pytest.mark.parametrize("partition", PARTITIONS)
+def test_no_wallclock_regression(partition):
+    assert _COMMITTED is not None, \
+        "no committed BENCH_perf_hotpath.json to gate against"
+    baseline = {(r["partition"], r["batch_syncs"]):
+                r for r in _COMMITTED["runs"]}
+    old = baseline.get((partition, True))
+    assert old is not None, f"baseline missing batched {partition} run"
+    new = _measure(partition, batch_syncs=True)
+    ratio = new["wall_per_superstep_s"] / \
+        max(old["wall_per_superstep_s"], 1e-9)
+    print(f"\n{partition}: per-superstep wall {ratio:.2f}x of baseline")
+    assert ratio < 2.0

@@ -64,6 +64,8 @@ def make_engine(graph: Graph, algorithm: str | VertexProgram,
                 checkpoint_in_memory: bool = False,
                 safety_checkpoint_interval: int = 0,
                 selfish_optimization: bool = True,
+                batch_syncs: bool = True,
+                sync_elision: bool = True,
                 num_standby: int = 1,
                 seed: int = 2014,
                 data_scale: float = 1.0,
@@ -92,7 +94,9 @@ def make_engine(graph: Graph, algorithm: str | VertexProgram,
         cluster=ClusterConfig(num_nodes=num_nodes, num_standby=num_standby,
                               seed=seed),
         engine=EngineConfig(partition=partition,
-                            max_iterations=max_iterations),
+                            max_iterations=max_iterations,
+                            batch_syncs=batch_syncs,
+                            sync_elision=sync_elision),
         ft=FaultToleranceConfig(
             mode=ft_mode,
             ft_level=ft_level if ft_mode is FTMode.REPLICATION else 0,

@@ -60,7 +60,12 @@ class ChaosController:
         """Register with the engine (and its network, if needed)."""
         engine.attach_chaos(self)
         if self.schedule.message_faults_enabled:
-            engine.cluster.network.fault_injector = self.message_verdict
+            network = engine.cluster.network
+            network.fault_injector = self.message_verdict
+            # Columnar batches get one verdict per *record*, drawn from
+            # the same seeded stream, so batching never changes what a
+            # given logical message experiences.
+            network.record_fault_injector = self.record_verdict
         return self
 
     # -- engine phase hook ----------------------------------------------
@@ -150,6 +155,15 @@ class ChaosController:
         if sched.drop_prob and self._msg_rng.random() < sched.drop_prob:
             return "drop"
         return "deliver"
+
+    def record_verdict(self, msg: Message, index: int) -> str:
+        """Per-record fault decision for columnar batches.
+
+        Same stream and draw order as :meth:`message_verdict` — record
+        *index* of a batch consumes exactly the draws the equivalent
+        scalar message would have, keeping verdicts record-level.
+        """
+        return self.message_verdict(msg)
 
     # -- reporting -------------------------------------------------------
 

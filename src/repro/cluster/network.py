@@ -14,6 +14,18 @@ traffic is deducted from the *step* counters (the barrier must not
 charge comm time for bytes that never completed the exchange) but stays
 in the lifetime totals (those bytes did cross the wire).
 
+Columnar batches (DESIGN.md §10): a payload flagged ``is_columnar``
+carries N logical records in one physical message.  Record-level
+counters (``msgs_by_kind``, ``total_msgs``, the ``step_msgs`` CPU-cost
+input) count the N records, preserving their historical meaning;
+``batches_by_kind`` / ``total_batches`` count physical transfers.  Wire
+bytes charge the sum of the per-record payload sizes plus **one**
+``BYTES_PER_MSG_HEADER`` per physical message — the paper's batched
+transfer model (Section 5.1.1).  With a ``record_fault_injector``
+installed, chaos verdicts are drawn per record and a batch splits into
+per-verdict sub-batches (each with its own header), so the chaos matrix
+and differential oracles keep record-level semantics.
+
 Counters live in a :class:`repro.obs.MetricsRegistry` under the
 ``net.*`` namespace; the legacy attribute names (``dropped_msgs``,
 ``chaos_duplicated_msgs``, ...) are registry-backed views.
@@ -53,7 +65,11 @@ class MessageKind(enum.Enum):
 
 @dataclass
 class Message:
-    """One logical message; ``nbytes`` is its modelled wire size."""
+    """One physical message; ``nbytes`` is its modelled payload size.
+
+    A columnar-batch payload makes this one *transfer* carrying
+    :func:`record_count` logical records; scalar payloads carry one.
+    """
 
     kind: MessageKind
     src: int
@@ -66,22 +82,42 @@ class Message:
             raise ValueError("message size cannot be negative")
 
 
+def record_count(payload: Any) -> int:
+    """Logical records carried by a payload (1 for scalar payloads)."""
+    if getattr(payload, "is_columnar", False):
+        return payload.record_count
+    return 1
+
+
 @dataclass
 class TrafficStats:
-    """Aggregated counters, by message kind and node pair."""
+    """Aggregated counters, by message kind.
+
+    ``msgs_by_kind`` / ``total_msgs`` count *logical records* (one per
+    vertex-level payload, the paper's message unit); ``batches_by_kind``
+    / ``total_batches`` count *physical transfers* (one per batch, the
+    Python-object / header unit).  For scalar messages the two match.
+    """
 
     msgs_by_kind: dict[MessageKind, int] = field(
         default_factory=lambda: defaultdict(int))
     bytes_by_kind: dict[MessageKind, int] = field(
         default_factory=lambda: defaultdict(int))
+    batches_by_kind: dict[MessageKind, int] = field(
+        default_factory=lambda: defaultdict(int))
     total_msgs: int = 0
     total_bytes: int = 0
+    total_batches: int = 0
 
     def record(self, msg: Message) -> None:
-        self.msgs_by_kind[msg.kind] += 1
-        self.bytes_by_kind[msg.kind] += msg.nbytes + BYTES_PER_MSG_HEADER
-        self.total_msgs += 1
-        self.total_bytes += msg.nbytes + BYTES_PER_MSG_HEADER
+        records = record_count(msg.payload)
+        wire = msg.nbytes + BYTES_PER_MSG_HEADER
+        self.msgs_by_kind[msg.kind] += records
+        self.bytes_by_kind[msg.kind] += wire
+        self.batches_by_kind[msg.kind] += 1
+        self.total_msgs += records
+        self.total_bytes += wire
+        self.total_batches += 1
 
 
 class Network:
@@ -107,6 +143,13 @@ class Network:
         #: verdict for each remote message — ``"deliver"`` (default),
         #: ``"drop"``, ``"duplicate"`` or ``"delay"``.
         self.fault_injector: Callable[[Message], str] | None = None
+        #: Optional record-level injector for columnar batches: called
+        #: as ``(msg, record_index) -> verdict`` once per record, so
+        #: chaos keeps per-record semantics across batched transport.
+        #: Without it, ``fault_injector``'s single verdict applies to
+        #: the whole batch.
+        self.record_fault_injector: Callable[[Message, int], str] | None = \
+            None
 
     # -- metrics --------------------------------------------------------
 
@@ -171,43 +214,115 @@ class Network:
             # engine code stays uniform, but not counted as traffic.
             self._queues[msg.dst].append(msg)
             return
-        wire_bytes = msg.nbytes + BYTES_PER_MSG_HEADER
         if not self._is_alive(msg.dst):
-            self.metrics.inc("net.dropped_msgs")
-            self.metrics.inc("net.dropped_bytes", wire_bytes)
+            self.metrics.inc("net.dropped_msgs", record_count(msg.payload))
+            self.metrics.inc("net.dropped_bytes",
+                             msg.nbytes + BYTES_PER_MSG_HEADER)
             return
-        copies = 1
-        delayed = False
         if self.fault_injector is not None:
+            if (self.record_fault_injector is not None
+                    and getattr(msg.payload, "is_columnar", False)):
+                self._send_with_record_faults(msg)
+                return
+            records = record_count(msg.payload)
             verdict = self.fault_injector(msg)
             if verdict == "drop":
-                self.metrics.inc("net.chaos_dropped_msgs")
-                self.metrics.inc("net.chaos_dropped_bytes", wire_bytes)
+                self.metrics.inc("net.chaos_dropped_msgs", records)
+                self.metrics.inc("net.chaos_dropped_bytes",
+                                 msg.nbytes + BYTES_PER_MSG_HEADER)
                 return
-            if verdict == "duplicate":
-                # A retransmission: both copies cross the wire.
-                copies = 2
-                self.metrics.inc("net.chaos_duplicated_msgs")
-            elif verdict == "delay":
-                delayed = True
-                self.metrics.inc("net.chaos_delayed_msgs")
-        for i in range(copies):
-            # Each delivery must own an independent payload: a consumer
-            # mutating one copy of a duplicated message (e.g. a mirror
-            # patching edge weights in place) must not corrupt the other
-            # in-flight delivery.
-            enqueued = msg if i == 0 else copy.deepcopy(msg)
+            delayed = verdict == "delay"
             if delayed:
-                self._delayed[msg.dst].append(enqueued)
+                self.metrics.inc("net.chaos_delayed_msgs", records)
+            self._enqueue(msg, delayed=delayed)
+            if verdict == "duplicate":
+                # A retransmission: both copies cross the wire, and each
+                # delivery must own an independent payload — a consumer
+                # mutating one copy of a duplicated message must not
+                # corrupt the other in-flight delivery.
+                self.metrics.inc("net.chaos_duplicated_msgs", records)
+                self._enqueue(self._clone_message(msg), delayed=delayed)
+            return
+        self._enqueue(msg)
+
+    def _enqueue(self, msg: Message, delayed: bool = False) -> None:
+        """Queue one physical message and charge all counters."""
+        (self._delayed if delayed else self._queues)[msg.dst].append(msg)
+        wire_bytes = msg.nbytes + BYTES_PER_MSG_HEADER
+        records = record_count(msg.payload)
+        self.step_bytes[msg.src][msg.dst] += wire_bytes
+        self.step_msgs[msg.src][msg.dst] += records
+        self.totals.record(msg)
+        self.metrics.inc("net.sent_msgs", records)
+        self.metrics.inc("net.sent_batches")
+        self.metrics.inc("net.sent_bytes", wire_bytes)
+        self.metrics.inc(f"net.msgs.{msg.kind.value}", records)
+        self.metrics.inc(f"net.bytes.{msg.kind.value}", wire_bytes)
+
+    @staticmethod
+    def _clone_message(msg: Message) -> Message:
+        """Independent copy of a message for chaos duplication.
+
+        Payloads exposing ``clone()`` (the columnar batches) get a
+        cheap payload-aware copy; anything else falls back to
+        ``copy.deepcopy`` to keep the independence guarantee.
+        """
+        payload = msg.payload
+        clone = (payload.clone() if hasattr(payload, "clone")
+                 else copy.deepcopy(payload))
+        return Message(msg.kind, msg.src, msg.dst, clone, msg.nbytes)
+
+    def _send_with_record_faults(self, msg: Message) -> None:
+        """Split a columnar batch into per-verdict sub-batches.
+
+        One verdict is drawn per record.  Records verdicted ``deliver``
+        ship together; ``duplicate`` records ship in the main sub-batch
+        *and* again in an independent duplicate sub-batch; ``delay``
+        records ship as a held-back sub-batch; ``drop`` records never
+        ship (payload bytes counted, but no header — they would have
+        shared the batch's).  Each shipped sub-batch is a physical
+        message with its own header, so byte accounting stays exact.
+        """
+        payload = msg.payload
+        injector = self.record_fault_injector
+        keep: list[int] = []
+        dup: list[int] = []
+        delay: list[int] = []
+        dropped = 0
+        dropped_bytes = 0
+        for i in range(payload.record_count):
+            verdict = injector(msg, i)
+            if verdict == "drop":
+                dropped += 1
+                dropped_bytes += payload.record_nbytes(i)
+            elif verdict == "duplicate":
+                keep.append(i)
+                dup.append(i)
+            elif verdict == "delay":
+                delay.append(i)
             else:
-                self._queues[msg.dst].append(enqueued)
-            self.step_bytes[msg.src][msg.dst] += wire_bytes
-            self.step_msgs[msg.src][msg.dst] += 1
-            self.totals.record(msg)
-            self.metrics.inc("net.sent_msgs")
-            self.metrics.inc("net.sent_bytes", wire_bytes)
-            self.metrics.inc(f"net.msgs.{msg.kind.value}")
-            self.metrics.inc(f"net.bytes.{msg.kind.value}", wire_bytes)
+                keep.append(i)
+        if dropped:
+            self.metrics.inc("net.chaos_dropped_msgs", dropped)
+            self.metrics.inc("net.chaos_dropped_bytes", dropped_bytes)
+        if dup:
+            self.metrics.inc("net.chaos_duplicated_msgs", len(dup))
+        if delay:
+            self.metrics.inc("net.chaos_delayed_msgs", len(delay))
+        if not dropped and not dup and not delay:
+            self._enqueue(msg)  # fast path: whole batch verdicted deliver
+            return
+        if keep:
+            self._enqueue(self._sub_batch(msg, keep))
+        if dup:
+            self._enqueue(self._sub_batch(msg, dup))
+        if delay:
+            self._enqueue(self._sub_batch(msg, delay), delayed=True)
+
+    @staticmethod
+    def _sub_batch(msg: Message, indices: list[int]) -> Message:
+        sub = msg.payload.select(indices)
+        return Message(msg.kind, msg.src, msg.dst, sub, sub.nbytes())
 
     def deliver(self, node_id: int) -> list[Message]:
         """Drain and return the destination's inbox.
@@ -249,6 +364,7 @@ class Network:
         keep the bytes: they did cross the wire before the crash.
         """
         purged = 0
+        purged_records = 0
         for queues in (self._queues, self._delayed):
             for dst in list(queues):
                 queue = queues[dst]
@@ -258,15 +374,19 @@ class Network:
                     continue
                 purged += removed
                 for m in queue:
-                    if m.src != node_id or m.src == m.dst:
-                        continue  # self-sends were never step-counted
-                    self._deduct_step(m)
+                    if m.src != node_id:
+                        continue
+                    purged_records += record_count(m.payload)
+                    if m.src != m.dst:  # self-sends never step-counted
+                        self._deduct_step(m)
                 if kept:
                     queues[dst] = kept
                 else:
                     del queues[dst]
         if purged:
-            self.metrics.inc("net.purged_msgs", purged)
+            # The metric counts logical records (the paper's message
+            # unit); the return value counts physical queue entries.
+            self.metrics.inc("net.purged_msgs", purged_records)
         return purged
 
     def purge_inbox(self, node_id: int) -> int:
@@ -280,7 +400,10 @@ class Network:
         delayed = self._delayed.pop(node_id, None) or []
         n = len(queued) + len(delayed)
         if n:
-            self.metrics.inc("net.purged_msgs", n)
+            self.metrics.inc(
+                "net.purged_msgs",
+                sum(record_count(m.payload) for m in queued)
+                + sum(record_count(m.payload) for m in delayed))
         return n
 
     def _deduct_step(self, msg: Message) -> None:
@@ -291,7 +414,8 @@ class Network:
             row[msg.dst] = max(0, row[msg.dst] - wire_bytes)
         row = self.step_msgs.get(msg.src)
         if row is not None and msg.dst in row:
-            row[msg.dst] = max(0, row[msg.dst] - 1)
+            row[msg.dst] = max(0, row[msg.dst]
+                               - record_count(msg.payload))
 
     # -- accounting views --------------------------------------------------
 

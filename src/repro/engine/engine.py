@@ -45,11 +45,11 @@ from repro.costmodel import (
 from repro.engine.construction import ConstructionReport, build_local_graphs
 from repro.engine.local_graph import LocalGraph
 from repro.engine.messages import (
-    ActivatePayload,
-    ActiveBroadcastPayload,
-    GatherPayload,
+    ActivateBatch,
+    ActiveBroadcastBatch,
+    GatherBatch,
     MirrorSyncPayload,
-    SyncPayload,
+    SyncBatch,
 )
 from repro.engine.state import VertexSlot
 from repro.engine.vertex_program import ApplyContext, VertexProgram
@@ -171,6 +171,10 @@ class Engine:
             self.master_node_of: list[int] = [int(n)
                                               for n in self.plan.master_of]
             self.is_edge_cut = partitioning.kind == "edge-cut"
+            #: Transport policy (DESIGN.md §10): columnar batching and
+            #: no-op sync elision.
+            self._batch_syncs = self.job.engine.batch_syncs
+            self._sync_elision = self.job.engine.sync_elision
 
             # -- fault-tolerance wiring --------------------------------
             self.ckpt: CheckpointManager | None = None
@@ -212,6 +216,8 @@ class Engine:
         self._chaos_plugins: list[Any] = []
         self.iteration_stats: list[IterationStats] = []
         self.recoveries: list[RecoveryStats] = []
+        #: Sync records skipped as non-activating no-ops (DESIGN.md §10).
+        self.syncs_elided = 0
         self._halted = False
         self._last_barrier_clock = 0.0
         #: CKPT mode: edge mutations since the last snapshot, per node.
@@ -480,7 +486,7 @@ class Engine:
 
     def _compute_master(self, node: int, lg: LocalGraph, slot: VertexSlot,
                         acc: Any, ctx: ApplyContext, selfish_opt: bool,
-                        edge_updates: tuple = ()) -> None:
+                        outbox: dict, edge_updates: tuple = ()) -> None:
         """Apply + stage + sync one master's update (both modes)."""
         program = self.program
         new_value = program.apply(slot.gid, slot.value, acc, ctx)
@@ -493,8 +499,8 @@ class Engine:
         slot.pending_activates = activates
         slot.pending_active = self_active
         self._mark_dirty(node, slot)
-        self._send_syncs(node, slot, new_value, activates, self_active,
-                         selfish_opt, edge_updates)
+        self._send_syncs(slot, new_value, activates, self_active,
+                         selfish_opt, outbox, edge_updates)
 
     def _gather_edges(self, lg: LocalGraph, slot: VertexSlot,
                       ctx: ApplyContext) -> tuple[Any, tuple]:
@@ -534,7 +540,8 @@ class Engine:
             lg = self.local_graphs[node]
             edges = 0
             vertices = 0
-            for gid in list(lg.active_masters):
+            outbox: dict = {}
+            for gid in lg.active_masters_snapshot():
                 slot = lg.slot_of(gid)
                 if not program.participates(gid, ctx):
                     continue
@@ -542,33 +549,79 @@ class Engine:
                 edges += len(slot.in_edges)
                 vertices += 1
                 self._compute_master(node, lg, slot, acc, ctx, selfish_opt,
-                                     updates)
+                                     outbox, updates)
+            # Flushed per node, so a mid-compute crash still loses the
+            # not-yet-computed nodes' syncs (partial-batch semantics).
+            self._flush_batches(node, outbox)
             self._step_edges[node] += edges
             self._step_vertices[node] += vertices
 
-    def _send_syncs(self, node: int, slot: VertexSlot, new_value: Any,
+    def _send_syncs(self, slot: VertexSlot, new_value: Any,
                     activates: bool, self_active: bool, selfish_opt: bool,
-                    edge_updates: tuple = ()) -> None:
-        """Master -> replica/mirror synchronisation messages."""
+                    outbox: dict, edge_updates: tuple = ()) -> None:
+        """Master -> replica/mirror synchronisation records.
+
+        Records accumulate into the sending node's per-(dst, kind)
+        columnar outbox, flushed once per node per superstep
+        (:meth:`_flush_batches`).  A master whose committed update is a
+        non-activating no-op elides its records: replicas already hold
+        the value, and because the previous commit also did not
+        activate (``last_activates`` is clear) recovery replay has
+        nothing to lose from the skipped ``last_update_iter`` stamp
+        (DESIGN.md §10).
+        """
         if slot.selfish and selfish_opt:
             # Selfish optimisation (Section 4.4): no consumers, no sync;
             # recovery recomputes the dynamic state.
             return
-        meta = slot.meta
-        value_nbytes = self.program.value_nbytes(new_value)
-        mirror_set = set(meta.mirror_nodes)
         mirror_updates = edge_updates if self.is_edge_cut else ()
-        for replica_node in meta.replica_positions:
-            if replica_node in mirror_set:
-                payload = MirrorSyncPayload(slot.gid, new_value, activates,
-                                            self_active, mirror_updates)
-                kind = MessageKind.MIRROR_SYNC
+        if self._sync_elision:
+            noop = (not activates and not slot.last_activates
+                    and new_value == slot.value)
+            plain_elide = noop
+            mirror_elide = (noop and not mirror_updates
+                            and self_active == slot.mirror_self_active)
+        else:
+            plain_elide = mirror_elide = False
+        value_nbytes = self.program.value_nbytes(new_value)
+        for replica_node, is_mirror in slot.meta.sync_targets():
+            if is_mirror:
+                if mirror_elide:
+                    self.syncs_elided += 1
+                    continue
+                key = (replica_node, MessageKind.MIRROR_SYNC)
+                batch = outbox.get(key)
+                if batch is None:
+                    batch = outbox[key] = SyncBatch(full_state=True)
+                batch.append(slot.gid, new_value, value_nbytes, activates,
+                             self_active, mirror_updates)
             else:
-                payload = SyncPayload(slot.gid, new_value, activates)
-                kind = MessageKind.SYNC
-            self.cluster.network.send(Message(
-                kind=kind, src=node, dst=replica_node, payload=payload,
-                nbytes=payload.nbytes(value_nbytes)))
+                if plain_elide:
+                    self.syncs_elided += 1
+                    continue
+                key = (replica_node, MessageKind.SYNC)
+                batch = outbox.get(key)
+                if batch is None:
+                    batch = outbox[key] = SyncBatch()
+                batch.append(slot.gid, new_value, value_nbytes, activates)
+
+    def _flush_batches(self, node: int, outbox: dict) -> None:
+        """Ship a node's accumulated batches, one message per pair.
+
+        With ``batch_syncs`` disabled each record travels as its own
+        single-record batch — wire-byte equivalent to the historical
+        per-record transport (the perf benchmark's before-side).
+        """
+        net = self.cluster.network
+        if self._batch_syncs:
+            for (dst, kind), batch in outbox.items():
+                net.send(Message(kind, node, dst, batch, batch.nbytes()))
+        else:
+            for (dst, kind), batch in outbox.items():
+                for i in range(batch.record_count):
+                    sub = batch.select((i,))
+                    net.send(Message(kind, node, dst, sub, sub.nbytes()))
+        outbox.clear()
 
     # -- vertex-cut -----------------------------------------------------------
 
@@ -585,6 +638,7 @@ class Engine:
             pending = self._broadcast_pending.get(node)
             if not pending:
                 continue
+            outbox: dict = {}
             for gid in sorted(pending):
                 if gid not in lg.index_of:
                     continue
@@ -592,18 +646,21 @@ class Engine:
                 if not slot.is_master \
                         or slot.replicas_known_active == slot.active:
                     continue
-                payload = ActiveBroadcastPayload(gid, slot.active)
-                for replica_node in slot.meta.replica_positions:
-                    net.send(Message(MessageKind.CONTROL, node,
-                                     replica_node, payload,
-                                     payload.nbytes()))
+                for replica_node, _is_mirror in slot.meta.sync_targets():
+                    key = (replica_node, MessageKind.CONTROL)
+                    batch = outbox.get(key)
+                    if batch is None:
+                        batch = outbox[key] = ActiveBroadcastBatch()
+                    batch.append(gid, slot.active)
                 slot.replicas_known_active = slot.active
             pending.clear()
+            self._flush_batches(node, outbox)
         for node in alive:
             lg = self.local_graphs[node]
             for msg in net.deliver(node):
-                slot = lg.slot_of(msg.payload.gid)
-                lg.set_active(slot, msg.payload.active)
+                batch = msg.payload
+                for gid, active in zip(batch.gids, batch.actives):
+                    lg.set_active(lg.slot_of(gid), active)
 
         # Phase 1: local partial gathers flow to masters.
         partials: dict[int, dict[int, list[tuple[int, Any]]]] = {
@@ -611,7 +668,9 @@ class Engine:
         for node in alive:
             lg = self.local_graphs[node]
             edges = 0
-            for gid in list(lg.active_masters) + list(lg.active_others):
+            outbox = {}
+            for gid in (lg.active_masters_snapshot()
+                        + lg.active_others_snapshot()):
                 slot = lg.slot_of(gid)
                 if not slot.in_edges:
                     continue
@@ -623,11 +682,12 @@ class Engine:
                 if master_node == node:
                     partials[node][gid].append((node, acc))
                 else:
-                    payload = GatherPayload(gid, acc)
-                    net.send(Message(MessageKind.GATHER, node, master_node,
-                                     payload,
-                                     payload.nbytes(
-                                         program.acc_nbytes(acc))))
+                    key = (master_node, MessageKind.GATHER)
+                    batch = outbox.get(key)
+                    if batch is None:
+                        batch = outbox[key] = GatherBatch()
+                    batch.append(gid, acc, program.acc_nbytes(acc))
+            self._flush_batches(node, outbox)
             self._step_edges[node] += edges
         # Partial gathers are in flight toward the masters: a crash here
         # loses both the crashed node's partials and its inbox.
@@ -635,15 +695,18 @@ class Engine:
         alive = self._filter_alive(alive)
         for node in alive:
             for msg in net.deliver(node):
-                partials[node][msg.payload.gid].append(
-                    (msg.src, msg.payload.acc))
+                batch = msg.payload
+                bucket = partials[node]
+                for gid, acc in zip(batch.gids, batch.accs):
+                    bucket[gid].append((msg.src, acc))
 
         # Phase 2: masters fold partials (node-id order for
         # determinism), apply, and scatter.
         for node in alive:
             lg = self.local_graphs[node]
             vertices = 0
-            for gid in list(lg.active_masters):
+            outbox = {}
+            for gid in lg.active_masters_snapshot():
                 slot = lg.slot_of(gid)
                 if not program.participates(gid, ctx):
                     continue
@@ -652,7 +715,9 @@ class Engine:
                                       key=lambda item: item[0]):
                     acc = program.gather_sum(acc, part)
                 vertices += 1
-                self._compute_master(node, lg, slot, acc, ctx, selfish_opt)
+                self._compute_master(node, lg, slot, acc, ctx, selfish_opt,
+                                     outbox)
+            self._flush_batches(node, outbox)
             self._step_vertices[node] += vertices
 
     # ------------------------------------------------------------------
@@ -707,6 +772,10 @@ class Engine:
             lg = self.local_graphs[node]
             for msg in net.deliver(node):
                 payload = msg.payload
+                if isinstance(payload, SyncBatch):
+                    self._apply_sync_batch(node, lg, payload)
+                    continue
+                # Legacy scalar payloads (recovery paths, tests).
                 slot = lg.slot_of(payload.gid)
                 slot.pending_value = payload.value
                 slot.has_pending = True
@@ -718,6 +787,25 @@ class Engine:
                             gid0, pos, _old = slot.full_edges[idx]
                             slot.full_edges[idx] = (gid0, pos, weight)
                 self._mark_dirty(node, slot)
+
+    def _apply_sync_batch(self, node: int, lg: LocalGraph,
+                          batch: SyncBatch) -> None:
+        """Stage every record of one received sync batch."""
+        full = batch.full_state
+        dirty = self._dirty[node]
+        for i, gid in enumerate(batch.gids):
+            slot = lg.slot_of(gid)
+            slot.pending_value = batch.values[i]
+            slot.has_pending = True
+            slot.pending_activates = batch.activates(i)
+            if full:
+                slot.pending_active = batch.self_active(i)
+                updates = batch.edge_updates[i]
+                if updates and slot.full_edges is not None:
+                    for idx, weight in updates:
+                        gid0, pos, _old = slot.full_edges[idx]
+                        slot.full_edges[idx] = (gid0, pos, weight)
+            dirty[gid] = slot
 
     def _commit_edge_mutations(self) -> None:
         if self._edge_updates:
@@ -770,10 +858,16 @@ class Engine:
 
         # Vertex-cut: remote activation signals travel to masters.
         if activation_signals:
+            outboxes: dict[int, dict] = defaultdict(dict)
             for src_node, dst_node, gid in sorted(activation_signals):
-                payload = ActivatePayload(gid)
-                net.send(Message(MessageKind.ACTIVATE, src_node,
-                                 dst_node, payload, payload.nbytes()))
+                outbox = outboxes[src_node]
+                key = (dst_node, MessageKind.ACTIVATE)
+                batch = outbox.get(key)
+                if batch is None:
+                    batch = outbox[key] = ActivateBatch()
+                batch.append(gid)
+            for src_node in sorted(outboxes):
+                self._flush_batches(src_node, outboxes[src_node])
             for node in alive:
                 lg = self.local_graphs[node]
                 for msg in net.deliver(node):
@@ -787,9 +881,10 @@ class Engine:
                             f"unexpected {msg.kind.value} message from "
                             f"node {msg.src} in the activation exchange "
                             f"of iteration {self.iteration}")
-                    slot = lg.slot_of(msg.payload.gid)
-                    slot.next_active = True
-                    self._mark_dirty(node, slot)
+                    for gid in msg.payload.gids:
+                        slot = lg.slot_of(gid)
+                        slot.next_active = True
+                        self._mark_dirty(node, slot)
 
         # Finalise active flags for the touched slots.
         for node in alive:
@@ -831,6 +926,7 @@ class Engine:
             sim_clock_s=post))
         self._last_barrier_clock = post
         self.metrics.inc("engine.supersteps")
+        self.metrics.set_gauge("engine.syncs_elided", self.syncs_elided)
         self.metrics.set_gauge("engine.active_masters", total_active)
         self.metrics.set_gauge("engine.iteration", self.iteration)
         self.metrics.snapshot(iteration=self.iteration, sim_clock_s=post)
@@ -1247,30 +1343,33 @@ class Engine:
         net.begin_step()
         for node in alive:
             lg = self.local_graphs[node]
+            outbox: dict = {}
             for slot in lg.iter_masters():
                 value_nbytes = self.program.value_nbytes(slot.value)
-                payload = MirrorSyncPayload(slot.gid, slot.value,
-                                            slot.last_activates,
-                                            slot.active)
-                for replica_node in slot.meta.replica_positions:
+                for replica_node, _is_mirror in slot.meta.sync_targets():
                     if not self.cluster.node(replica_node).is_alive:
                         continue
-                    net.send(Message(MessageKind.RECOVERY, node,
-                                     replica_node, payload,
-                                     payload.nbytes(value_nbytes)))
+                    key = (replica_node, MessageKind.RECOVERY)
+                    batch = outbox.get(key)
+                    if batch is None:
+                        batch = outbox[key] = SyncBatch(full_state=True)
+                    batch.append(slot.gid, slot.value, value_nbytes,
+                                 slot.last_activates, slot.active)
+            self._flush_batches(node, outbox)
         slowest = 0.0
         for node in alive:
             slowest = max(slowest, pairwise_comm_time(
                 self.model, net.step_bytes, net.step_msgs, node))
             lg = self.local_graphs[node]
             for msg in net.deliver(node):
-                payload = msg.payload
-                slot = lg.slot_of(payload.gid)
-                slot.value = payload.value
-                slot.last_activates = payload.activates
-                lg.set_active(slot, payload.self_active)
-                if slot.is_mirror:
-                    slot.mirror_self_active = payload.self_active
+                batch = msg.payload
+                for i, gid in enumerate(batch.gids):
+                    slot = lg.slot_of(gid)
+                    slot.value = batch.values[i]
+                    slot.last_activates = batch.activates(i)
+                    lg.set_active(slot, batch.self_active(i))
+                    if slot.is_mirror:
+                        slot.mirror_self_active = batch.self_active(i)
         for node in alive:
             for slot in self.local_graphs[node].iter_masters():
                 slot.replicas_known_active = slot.active

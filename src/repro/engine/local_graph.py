@@ -31,6 +31,11 @@ class LocalGraph:
         self.active_masters: set[int] = set()
         #: Same for non-master slots (vertex-cut replicas gather too).
         self.active_others: set[int] = set()
+        # Tuple snapshots of the active sets, cached until the next
+        # mutation — the compute loops iterate these instead of copying
+        # the set per node per superstep.
+        self._masters_snapshot: tuple[int, ...] | None = None
+        self._others_snapshot: tuple[int, ...] | None = None
 
     # -- construction -----------------------------------------------------
 
@@ -68,6 +73,8 @@ class LocalGraph:
                 self.active_masters.add(slot.gid)
             else:
                 self.active_others.add(slot.gid)
+        self._masters_snapshot = None
+        self._others_snapshot = None
 
     def remove_slot(self, gid: int) -> VertexSlot:
         """Tombstone a slot (Migration moves vertices between nodes)."""
@@ -79,7 +86,26 @@ class LocalGraph:
         self.slots[position] = None
         self.active_masters.discard(gid)
         self.active_others.discard(gid)
+        self._masters_snapshot = None
+        self._others_snapshot = None
         return slot
+
+    def active_masters_snapshot(self) -> tuple[int, ...]:
+        """Stable iteration snapshot of ``active_masters``.
+
+        Cached until the set next mutates; lets a compute loop iterate
+        while apply results flip activity, without copying the set per
+        node per superstep.
+        """
+        if self._masters_snapshot is None:
+            self._masters_snapshot = tuple(self.active_masters)
+        return self._masters_snapshot
+
+    def active_others_snapshot(self) -> tuple[int, ...]:
+        """Stable iteration snapshot of ``active_others``."""
+        if self._others_snapshot is None:
+            self._others_snapshot = tuple(self.active_others)
+        return self._others_snapshot
 
     # -- lookup ---------------------------------------------------------------
 

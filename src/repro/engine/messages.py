@@ -4,10 +4,21 @@ Sizes mirror the compact encodings of the real systems: a plain sync is
 an id + value + flag byte; a mirror (full-state) sync adds the dynamic
 full-state extras (Section 4.2); recovery messages carry whole vertices
 and are batched per destination (Section 5.1.1).
+
+Steady-state traffic is batched the same way (DESIGN.md §10): the
+engine accumulates one *columnar* batch per ``(src, dst, kind)`` pair
+per superstep and ships it as a single :class:`~repro.cluster.network.
+Message`.  A batch holds parallel arrays (gids, values, packed flag
+bits, per-record wire sizes), so the per-superstep object count is
+O(node pairs), not O(vertices x replicas).  The per-record dataclasses
+below remain the canonical definition of each record's wire size; the
+batches replicate those sizes exactly, and the transport charges one
+header per batch instead of one per record.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -84,6 +95,192 @@ class ActiveBroadcastPayload:
 
     def nbytes(self) -> int:
         return BYTES_PER_VID + 1
+
+
+class SyncBatch:
+    """Columnar master -> replica sync batch (one per (src, dst, kind)).
+
+    ``full_state=False`` batches plain :class:`SyncPayload` records
+    (kind ``SYNC``); ``full_state=True`` batches
+    :class:`MirrorSyncPayload` records (kind ``MIRROR_SYNC``), adding
+    the self-active flag bit and per-record edge-update lists.
+
+    ``sizes[i]`` is record *i*'s wire size, matching the per-record
+    payload's ``nbytes`` exactly, so a batch's payload bytes are the
+    sum of its records and chaos sub-batch splits stay byte-exact.
+    """
+
+    is_columnar = True
+
+    FLAG_ACTIVATES = 0x1
+    FLAG_SELF_ACTIVE = 0x2
+
+    __slots__ = ("full_state", "gids", "values", "flags", "sizes",
+                 "edge_updates")
+
+    def __init__(self, full_state: bool = False):
+        self.full_state = full_state
+        self.gids: list[int] = []
+        self.values: list[Any] = []
+        #: Packed per-record bits: FLAG_ACTIVATES | FLAG_SELF_ACTIVE.
+        self.flags: list[int] = []
+        self.sizes: list[int] = []
+        #: Per-record ``((edge index, new weight), ...)`` tuples;
+        #: ``None`` for plain (non-full-state) batches.
+        self.edge_updates: list[tuple] | None = [] if full_state else None
+
+    def append(self, gid: int, value: Any, value_nbytes: int,
+               activates: bool, self_active: bool = False,
+               edge_updates: tuple = ()) -> None:
+        self.gids.append(gid)
+        self.values.append(value)
+        flags = self.FLAG_ACTIVATES if activates else 0
+        if self_active:
+            flags |= self.FLAG_SELF_ACTIVE
+        self.flags.append(flags)
+        if self.full_state:
+            self.edge_updates.append(tuple(edge_updates))
+            self.sizes.append(BYTES_PER_VID + value_nbytes + 2
+                              + 12 * len(edge_updates))
+        else:
+            self.sizes.append(BYTES_PER_VID + value_nbytes + 1)
+
+    @property
+    def record_count(self) -> int:
+        return len(self.gids)
+
+    def nbytes(self) -> int:
+        return sum(self.sizes)
+
+    def record_nbytes(self, index: int) -> int:
+        return self.sizes[index]
+
+    def activates(self, index: int) -> bool:
+        return bool(self.flags[index] & self.FLAG_ACTIVATES)
+
+    def self_active(self, index: int) -> bool:
+        return bool(self.flags[index] & self.FLAG_SELF_ACTIVE)
+
+    def select(self, indices: Iterable[int]) -> "SyncBatch":
+        """New batch holding the given records (columnar slice)."""
+        out = SyncBatch(self.full_state)
+        for i in indices:
+            out.gids.append(self.gids[i])
+            out.values.append(self.values[i])
+            out.flags.append(self.flags[i])
+            out.sizes.append(self.sizes[i])
+            if self.full_state:
+                out.edge_updates.append(self.edge_updates[i])
+        return out
+
+    def clone(self) -> "SyncBatch":
+        """Independent copy (payload-aware duplicate, no deepcopy)."""
+        return self.select(range(len(self.gids)))
+
+
+class GatherBatch:
+    """Columnar replica -> master partial-accumulator batch."""
+
+    is_columnar = True
+
+    __slots__ = ("gids", "accs", "sizes")
+
+    def __init__(self):
+        self.gids: list[int] = []
+        self.accs: list[Any] = []
+        self.sizes: list[int] = []
+
+    def append(self, gid: int, acc: Any, acc_nbytes: int) -> None:
+        self.gids.append(gid)
+        self.accs.append(acc)
+        self.sizes.append(BYTES_PER_VID + acc_nbytes)
+
+    @property
+    def record_count(self) -> int:
+        return len(self.gids)
+
+    def nbytes(self) -> int:
+        return sum(self.sizes)
+
+    def record_nbytes(self, index: int) -> int:
+        return self.sizes[index]
+
+    def select(self, indices: Iterable[int]) -> "GatherBatch":
+        out = GatherBatch()
+        for i in indices:
+            out.gids.append(self.gids[i])
+            out.accs.append(self.accs[i])
+            out.sizes.append(self.sizes[i])
+        return out
+
+    def clone(self) -> "GatherBatch":
+        return self.select(range(len(self.gids)))
+
+
+class ActivateBatch:
+    """Columnar activation-signal batch (vertex-cut scatter)."""
+
+    is_columnar = True
+
+    __slots__ = ("gids",)
+
+    def __init__(self, gids: Sequence[int] = ()):
+        self.gids: list[int] = list(gids)
+
+    def append(self, gid: int) -> None:
+        self.gids.append(gid)
+
+    @property
+    def record_count(self) -> int:
+        return len(self.gids)
+
+    def nbytes(self) -> int:
+        return BYTES_PER_VID * len(self.gids)
+
+    def record_nbytes(self, index: int) -> int:
+        return BYTES_PER_VID
+
+    def select(self, indices: Iterable[int]) -> "ActivateBatch":
+        return ActivateBatch([self.gids[i] for i in indices])
+
+    def clone(self) -> "ActivateBatch":
+        return ActivateBatch(self.gids)
+
+
+class ActiveBroadcastBatch:
+    """Columnar master -> replicas activity-flag broadcast batch."""
+
+    is_columnar = True
+
+    __slots__ = ("gids", "actives")
+
+    def __init__(self):
+        self.gids: list[int] = []
+        self.actives: list[bool] = []
+
+    def append(self, gid: int, active: bool) -> None:
+        self.gids.append(gid)
+        self.actives.append(active)
+
+    @property
+    def record_count(self) -> int:
+        return len(self.gids)
+
+    def nbytes(self) -> int:
+        return (BYTES_PER_VID + 1) * len(self.gids)
+
+    def record_nbytes(self, index: int) -> int:
+        return BYTES_PER_VID + 1
+
+    def select(self, indices: Iterable[int]) -> "ActiveBroadcastBatch":
+        out = ActiveBroadcastBatch()
+        for i in indices:
+            out.gids.append(self.gids[i])
+            out.actives.append(self.actives[i])
+        return out
+
+    def clone(self) -> "ActiveBroadcastBatch":
+        return self.select(range(len(self.gids)))
 
 
 @dataclass

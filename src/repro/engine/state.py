@@ -48,6 +48,38 @@ class MasterMeta:
     #: recover the master in place).
     master_node: int = -1
     master_position: int = -1
+    #: Derived caches over ``replica_positions``/``mirror_nodes``; built
+    #: lazily on first use, dropped by :meth:`invalidate_replica_cache`
+    #: whenever a replica moves (migration/repair).  Not part of the
+    #: replicated wire state.
+    _mirror_set: frozenset[int] | None = field(
+        default=None, init=False, repr=False, compare=False)
+    _sync_targets: tuple[tuple[int, bool], ...] | None = field(
+        default=None, init=False, repr=False, compare=False)
+
+    @property
+    def mirror_set(self) -> frozenset[int]:
+        """Cached ``frozenset(mirror_nodes)`` for O(1) membership."""
+        if self._mirror_set is None:
+            self._mirror_set = frozenset(self.mirror_nodes)
+        return self._mirror_set
+
+    def sync_targets(self) -> tuple[tuple[int, bool], ...]:
+        """Cached ``(replica_node, is_mirror)`` pairs in position order.
+
+        Built once per topology change instead of per vertex per
+        superstep; the hot sync loop iterates this directly.
+        """
+        if self._sync_targets is None:
+            mirrors = self.mirror_set
+            self._sync_targets = tuple(
+                (node, node in mirrors) for node in self.replica_positions)
+        return self._sync_targets
+
+    def invalidate_replica_cache(self) -> None:
+        """Drop derived caches after mutating replica placement."""
+        self._mirror_set = None
+        self._sync_targets = None
 
     def nbytes(self) -> int:
         """Memory footprint of this metadata.

@@ -364,6 +364,27 @@ def restore_ft_level(engine: "Engine", gids: list[int],
             pool = [n for n in alive if n not in excluded]
             if not pool:
                 break
+            # Adopt untracked surviving copies first: a copy can
+            # outlive its metadata entry (a reborn node restores its
+            # slots, but the master's replica_positions was pruned at
+            # crash time).  Re-registering it — with state refreshed
+            # from the master — is a free replica, and placing a *new*
+            # copy on that node would collide with the old slot.
+            orphans = [n for n in pool
+                       if gid in engine.local_graphs[n].index_of]
+            if orphans:
+                node = orphans[0]
+                orphan = engine.local_graphs[node].slot_of(gid)
+                orphan.value = master_slot.value
+                orphan.last_activates = master_slot.last_activates
+                orphan.last_update_iter = master_slot.last_update_iter
+                orphan.master_node = master_node
+                meta.replica_positions[node] = \
+                    engine.local_graphs[node].position_of(gid)
+                created += 1
+                bytes_sent += program.value_nbytes(master_slot.value) \
+                    + BYTES_PER_VID
+                continue
             candidates = engine.job.ft.placement_candidates
             sample = (rng.sample(pool, candidates)
                       if len(pool) > candidates else pool)
@@ -407,6 +428,7 @@ def restore_ft_level(engine: "Engine", gids: list[int],
                     for pos, weight in master_slot.in_edges]
                 bytes_sent += len(mirror_slot.full_edges) * 24
             bytes_sent += 64
+        meta.invalidate_replica_cache()
         # Mirrors hold stale metadata copies after changes: refresh.
         for node in meta.mirror_nodes:
             mslot = engine.local_graphs[node].slot_of(gid)

@@ -99,6 +99,7 @@ class MigrationRecovery:
                 # and would otherwise resurrect dead replica locations.
                 meta.mirror_nodes = [n for n in meta.mirror_nodes
                                      if n not in failed_set]
+                meta.invalidate_replica_cache()
 
         # ---------------- Reloading: edges ----------------
         net = engine.cluster.network
@@ -220,6 +221,7 @@ class MigrationRecovery:
         meta.replica_positions = new_positions
         meta.mirror_nodes = [n for n in meta.mirror_nodes
                              if n not in failed_set and n != node]
+        meta.invalidate_replica_cache()
         meta.master_node = node
         meta.master_position = position
         slot.master_node = node
@@ -283,6 +285,7 @@ class MigrationRecovery:
         slot = common.place_recovered_vertex(
             lg, rv, common.last_committed_iteration(engine))
         master_slot.meta.replica_positions[node] = position
+        master_slot.meta.invalidate_replica_cache()
         net = engine.cluster.network
         nbytes = rv.nbytes(engine.program.value_nbytes(rv.value))
         net.send(Message(MessageKind.RECOVERY, master_node, node,
@@ -292,6 +295,7 @@ class MigrationRecovery:
             mirror = engine.local_graphs[mirror_node].slot_of(gid)
             if mirror.meta is not None:
                 mirror.meta.replica_positions[node] = position
+                mirror.meta.invalidate_replica_cache()
         return position
 
     def _reload_vertex_cut_edges(self, failed: tuple[int, ...],

@@ -20,6 +20,7 @@ import pytest
 from repro.api import make_engine
 from repro.cluster.network import Message, MessageKind, Network
 from repro.costmodel import DEFAULT_COST_MODEL, pairwise_comm_time
+from repro.engine.messages import SyncBatch
 from repro.errors import EngineError
 from repro.graph import generators
 from repro.utils.sizing import BYTES_PER_MSG_HEADER
@@ -84,6 +85,25 @@ class TestDuplicateIndependence:
         # A consumer mutating one copy must not corrupt the other.
         inbox[0].payload["edges"].append(99)
         assert inbox[1].payload["edges"] == [1, 2]
+
+    def test_duplicate_batch_uses_payload_clone(self):
+        """Columnar batches clone via ``payload.clone()`` — cheaper than
+        ``copy.deepcopy`` and still an independent copy per delivery."""
+        net = make_net()
+        net.fault_injector = lambda msg: "duplicate"
+        batch = SyncBatch()
+        batch.append(7, 0.25, 8, activates=True)
+        batch.append(9, 0.5, 8, activates=False)
+        net.send(Message(MessageKind.SYNC, 0, 1, batch, batch.nbytes()))
+        inbox = net.deliver(1)
+        assert len(inbox) == 2
+        assert inbox[0].payload is not inbox[1].payload
+        assert inbox[0].payload.gids is not inbox[1].payload.gids
+        inbox[0].payload.values[0] = -1.0
+        inbox[0].payload.gids.append(99)
+        assert inbox[1].payload.values == [0.25, 0.5]
+        assert inbox[1].payload.gids == [7, 9]
+        assert inbox[1].payload.nbytes() == batch.nbytes()
 
     def test_both_copies_fully_counted(self):
         net = make_net()
