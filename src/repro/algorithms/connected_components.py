@@ -39,6 +39,10 @@ class ConnectedComponents(VertexProgram):
             return a
         return min(a, b)
 
+    def kernel(self):
+        from repro.algorithms.kernels import CCKernel
+        return CCKernel()
+
     def apply(self, vid: int, old_value: int, acc,
               ctx: ApplyContext) -> int:
         if acc is None:

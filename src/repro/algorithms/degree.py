@@ -32,6 +32,10 @@ class DegreeCount(VertexProgram):
     def gather_sum(self, a: float, b: float) -> float:
         return (a or 0.0) + (b or 0.0)
 
+    def kernel(self):
+        from repro.algorithms.kernels import DegreeKernel
+        return DegreeKernel()
+
     def apply(self, vid: int, old_value: float, acc: float,
               ctx: ApplyContext) -> float:
         return acc or 0.0

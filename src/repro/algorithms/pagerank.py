@@ -42,6 +42,10 @@ class PageRank(VertexProgram):
     def gather_sum(self, a: float, b: float) -> float:
         return a + b
 
+    def kernel(self):
+        from repro.algorithms.kernels import PageRankKernel
+        return PageRankKernel(self.damping)
+
     def apply(self, vid: int, old_value: float, acc: float,
               ctx: ApplyContext) -> float:
         if acc is None:

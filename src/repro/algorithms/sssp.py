@@ -50,6 +50,10 @@ class SingleSourceShortestPath(VertexProgram):
             return a
         return min(a, b)
 
+    def kernel(self):
+        from repro.algorithms.kernels import SSSPKernel
+        return SSSPKernel(self.source)
+
     def apply(self, vid: int, old_value: float, acc: float,
               ctx: ApplyContext) -> float:
         if acc is None:

@@ -66,6 +66,7 @@ def make_engine(graph: Graph, algorithm: str | VertexProgram,
                 selfish_optimization: bool = True,
                 batch_syncs: bool = True,
                 sync_elision: bool = True,
+                vectorized: bool = True,
                 num_standby: int = 1,
                 seed: int = 2014,
                 data_scale: float = 1.0,
@@ -96,7 +97,8 @@ def make_engine(graph: Graph, algorithm: str | VertexProgram,
         engine=EngineConfig(partition=partition,
                             max_iterations=max_iterations,
                             batch_syncs=batch_syncs,
-                            sync_elision=sync_elision),
+                            sync_elision=sync_elision,
+                            vectorized=vectorized),
         ft=FaultToleranceConfig(
             mode=ft_mode,
             ft_level=ft_level if ft_mode is FTMode.REPLICATION else 0,

@@ -154,6 +154,12 @@ class EngineConfig:
     #: non-activating no-op (value and flags unchanged).  Never changes
     #: results; collapses traffic in the convergence tail.
     sync_elision: bool = True
+    #: Run the structure-of-arrays fast path when the vertex program
+    #: declares an array kernel (DESIGN.md §11).  Bit-for-bit equal to
+    #: the scalar loop (the differential suite is the oracle); programs
+    #: without a kernel — and edge-mutating ones — always take the
+    #: scalar path regardless.  Off = force the scalar loop for A/B.
+    vectorized: bool = True
 
     def __post_init__(self) -> None:
         if self.max_iterations < 1:

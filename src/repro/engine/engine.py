@@ -52,6 +52,7 @@ from repro.engine.messages import (
     SyncBatch,
 )
 from repro.engine.state import VertexSlot
+from repro.engine.vectorized import VectorizedExecutor
 from repro.engine.vertex_program import ApplyContext, VertexProgram
 from repro.errors import (
     EngineError,
@@ -175,6 +176,14 @@ class Engine:
             #: no-op sync elision.
             self._batch_syncs = self.job.engine.batch_syncs
             self._sync_elision = self.job.engine.sync_elision
+            #: Vectorized SoA fast path (DESIGN.md §11): engaged when
+            #: the config allows it AND the program declares an array
+            #: kernel; edge-mutating programs always run scalar.
+            kernel = (program.kernel()
+                      if (self.job.engine.vectorized
+                          and not program.mutates_edges) else None)
+            self._vec = (VectorizedExecutor(self, kernel)
+                         if kernel is not None else None)
 
             # -- fault-tolerance wiring --------------------------------
             self.ckpt: CheckpointManager | None = None
@@ -317,6 +326,8 @@ class Engine:
 
     def values(self) -> dict[int, Any]:
         """Current committed value of every vertex (from its master)."""
+        if self._vec is not None:
+            self._vec.flush()
         out: dict[int, Any] = {}
         for v in range(self.graph.num_vertices):
             node = self.master_node_of[v]
@@ -325,6 +336,8 @@ class Engine:
 
     def memory_report(self) -> dict[int, int]:
         """Per-node resident bytes of graph state (Tables 3 and 7)."""
+        if self._vec is not None:
+            self._vec.flush()
         return {node: lg.memory_nbytes(self.program)
                 for node, lg in self.local_graphs.items()
                 if self.cluster.node(node).is_alive}
@@ -418,6 +431,12 @@ class Engine:
 
     def _chaos_point(self, phase: str) -> None:
         """Invoke every attached chaos plugin at a named phase hook."""
+        if not self._chaos_plugins:
+            return
+        # Plugins inspect slot state directly; surface any deferred
+        # vectorized column commits first.
+        if self._vec is not None:
+            self._vec.flush()
         for plugin in self._chaos_plugins:
             plugin.on_phase(self, phase)
 
@@ -449,7 +468,12 @@ class Engine:
                               mode=("edge-cut" if self.is_edge_cut
                                     else "vertex-cut")) as sp:
             if self.is_edge_cut:
-                self._edge_cut_compute(alive)
+                if self._vec is not None:
+                    self._vec.edge_cut_compute(alive)
+                else:
+                    self._edge_cut_compute(alive)
+            elif self._vec is not None:
+                self._vec.vertex_cut_compute(alive)
             else:
                 self._vertex_cut_compute(alive)
             # Advance per-node clocks: framework overhead + compute.
@@ -625,14 +649,10 @@ class Engine:
 
     # -- vertex-cut -----------------------------------------------------------
 
-    def _vertex_cut_compute(self, alive: list[int]) -> None:
-        ctx = self._ctx()
-        program = self.program
-        net = self.cluster.network
-        selfish_opt = self.selfish_opt_active
-
-        # Phase 0: masters whose activity changed since replicas last
-        # heard broadcast the flag (cheap; zero for always-active runs).
+    def _vertex_cut_broadcast(self, alive: list[int], net) -> None:
+        """Phase 0: masters whose activity changed since replicas last
+        heard broadcast the flag (cheap; zero for always-active runs).
+        Shared by the scalar and vectorized paths."""
         for node in alive:
             lg = self.local_graphs[node]
             pending = self._broadcast_pending.get(node)
@@ -661,6 +681,14 @@ class Engine:
                 batch = msg.payload
                 for gid, active in zip(batch.gids, batch.actives):
                     lg.set_active(lg.slot_of(gid), active)
+
+    def _vertex_cut_compute(self, alive: list[int]) -> None:
+        ctx = self._ctx()
+        program = self.program
+        net = self.cluster.network
+        selfish_opt = self.selfish_opt_active
+
+        self._vertex_cut_broadcast(alive, net)
 
         # Phase 1: local partial gathers flow to masters.
         partials: dict[int, dict[int, list[tuple[int, Any]]]] = {
@@ -753,6 +781,9 @@ class Engine:
         # mode this is the opt-in low-frequency safety net instead.
         ckpt_time = 0.0
         if self.ckpt is not None and self.ckpt.due(self.iteration):
+            # Checkpoints read the slots; surface deferred commits.
+            if self._vec is not None:
+                self._vec.flush()
             if self._safety_ckpt:
                 ckpt_time = self.ckpt.safety_checkpoint(
                     self.iteration, self.local_graphs, self.program,
@@ -773,9 +804,15 @@ class Engine:
             for msg in net.deliver(node):
                 payload = msg.payload
                 if isinstance(payload, SyncBatch):
-                    self._apply_sync_batch(node, lg, payload)
+                    if self._vec is not None:
+                        self._vec.stage_sync_batch(node, payload)
+                    else:
+                        self._apply_sync_batch(node, lg, payload)
                     continue
                 # Legacy scalar payloads (recovery paths, tests).
+                if self._vec is not None:
+                    self._vec.stage_scalar(node, payload)
+                    continue
                 slot = lg.slot_of(payload.gid)
                 slot.pending_value = payload.value
                 slot.has_pending = True
@@ -834,6 +871,8 @@ class Engine:
     def _commit_values(self, alive: list[int], net) -> int:
         """Commit pending values, resolve activations; returns the
         number of active masters after the superstep."""
+        if self._vec is not None:
+            return self._vec.commit_values(alive, net)
         activation_signals: set[tuple[int, int, int]] = set()
         for node in alive:
             lg = self.local_graphs[node]
@@ -958,8 +997,17 @@ class Engine:
             for slot in self._dirty.get(node, {}).values():
                 slot.clear_pending()
         self._dirty = {}
+        if self._vec is not None:
+            self._vec.rollback()
 
     def _recover(self, failed: tuple[int, ...]) -> None:
+        # Recovery reads survivor slots throughout, and every protocol
+        # may rewrite slot arrays / edge lists / replica metadata in
+        # place — flush the vectorized executor's deferred commits and
+        # drop its cached columns up front (recovery only runs at
+        # barrier boundaries, where no pending staging exists).
+        if self._vec is not None:
+            self._vec.rollback()
         # A crash while recovery is in progress is detected before the
         # protocol commits and handled as one larger simultaneous
         # failure (Section 5.3.2: failures during recovery restart
@@ -1011,6 +1059,12 @@ class Engine:
         # the repaired replication level (DESIGN.md §9).
         self._repair_ft_level()
         self._refresh_broadcast_state()
+        # Recovery protocols rewrite slot arrays, edge lists and replica
+        # metadata in place — including on survivors that saw no local
+        # add/remove — so every SoA topology cache is stale now (the
+        # executor's dynamic columns were already dropped on entry).
+        for lg in self.local_graphs.values():
+            lg.invalidate_soa()
         post = self.cluster.clocks.barrier(self.model, self._alive())
         self._last_barrier_clock = post
         self._chaos_point("post_recovery")

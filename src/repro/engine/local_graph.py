@@ -36,6 +36,10 @@ class LocalGraph:
         # the set per node per superstep.
         self._masters_snapshot: tuple[int, ...] | None = None
         self._others_snapshot: tuple[int, ...] | None = None
+        #: Cached structure-of-arrays topology (DESIGN.md §11); built
+        #: lazily by :meth:`topology`, dropped by :meth:`invalidate_soa`
+        #: whenever the slot array or edge lists change shape.
+        self._topology = None
 
     # -- construction -----------------------------------------------------
 
@@ -55,6 +59,7 @@ class LocalGraph:
                     f"position {position} on node {self.node_id} occupied")
             self.slots[position] = slot
         self.index_of[slot.gid] = position
+        self._topology = None
         if slot.active:
             self.set_active(slot, True)
         return position
@@ -88,7 +93,51 @@ class LocalGraph:
         self.active_others.discard(gid)
         self._masters_snapshot = None
         self._others_snapshot = None
+        self._topology = None
         return slot
+
+    def set_active_bulk(self, positions, flags) -> None:
+        """Vectorized bulk form of :meth:`set_active`, by position.
+
+        Used by the barrier commit of the vectorized path; must keep
+        the same contract as per-slot writes — the active sets stay in
+        sync and the iteration snapshots are invalidated (a stale
+        snapshot here would feed the next superstep's compute loop the
+        previous superstep's active set).
+        """
+        masters, others = self.active_masters, self.active_others
+        slots = self.slots
+        for pos, flag in zip(positions, flags):
+            slot = slots[pos]
+            slot.active = flag
+            gid = slot.gid
+            if flag:
+                if slot.role is Role.MASTER:
+                    masters.add(gid)
+                else:
+                    others.add(gid)
+            else:
+                masters.discard(gid)
+                others.discard(gid)
+        self._masters_snapshot = None
+        self._others_snapshot = None
+
+    def topology(self):
+        """The cached SoA topology view (DESIGN.md §11)."""
+        if self._topology is None:
+            from repro.engine.soa import NodeTopology
+            self._topology = NodeTopology.build(self)
+        return self._topology
+
+    def invalidate_soa(self) -> None:
+        """Drop the SoA topology cache after in-place topology edits.
+
+        ``add_slot``/``remove_slot`` invalidate automatically; recovery
+        code that rewrites ``in_edges``/``out_edges``/``meta`` in place
+        (Rebirth relink, Migration re-resolution, FT repair) is covered
+        by the engine's blanket invalidation after every recovery.
+        """
+        self._topology = None
 
     def active_masters_snapshot(self) -> tuple[int, ...]:
         """Stable iteration snapshot of ``active_masters``.

@@ -145,6 +145,27 @@ class SyncBatch:
         else:
             self.sizes.append(BYTES_PER_VID + value_nbytes + 1)
 
+    @classmethod
+    def from_columns(cls, gids: list, values: list, flags: list,
+                     sizes: list, full_state: bool = False,
+                     edge_updates: list | None = None) -> "SyncBatch":
+        """Adopt pre-built columns (vectorized path; no per-record calls).
+
+        The columns are adopted as-is — callers hand over ownership.
+        ``sizes`` must match what :meth:`append` would have computed so
+        the byte accounting stays identical to the record-at-a-time
+        build.
+        """
+        batch = cls(full_state)
+        batch.gids = gids
+        batch.values = values
+        batch.flags = flags
+        batch.sizes = sizes
+        if full_state:
+            batch.edge_updates = (edge_updates if edge_updates is not None
+                                  else [()] * len(gids))
+        return batch
+
     @property
     def record_count(self) -> int:
         return len(self.gids)
@@ -194,6 +215,16 @@ class GatherBatch:
         self.gids.append(gid)
         self.accs.append(acc)
         self.sizes.append(BYTES_PER_VID + acc_nbytes)
+
+    @classmethod
+    def from_columns(cls, gids: list, accs: list,
+                     sizes: list) -> "GatherBatch":
+        """Adopt pre-built columns (vectorized path)."""
+        batch = cls()
+        batch.gids = gids
+        batch.accs = accs
+        batch.sizes = sizes
+        return batch
 
     @property
     def record_count(self) -> int:

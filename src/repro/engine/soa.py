@@ -1,0 +1,114 @@
+"""Structure-of-arrays topology cache for one node's local graph.
+
+The per-vertex :class:`~repro.engine.state.VertexSlot` array stays the
+authoritative store (recovery writes it positionally, checkpoints read
+it), but the vectorized compute path needs the *static* shape of a
+node's graph as flat numpy arrays: role masks, degrees, the local
+in-/out-edge lists in CSR-style per-edge arrays, and the master->replica
+sync fan-out grouped by destination.  :class:`NodeTopology` is that
+snapshot, built lazily from the slot array and cached on the
+:class:`~repro.engine.local_graph.LocalGraph` until the topology
+mutates (``add_slot``/``remove_slot``, or the blanket invalidation the
+engine issues after any recovery, which may rewrite edge lists and
+replica metadata in place on nodes that saw no local slot churn).
+
+Dynamic state (values, activity flags) deliberately does NOT live
+here — the executor caches those columns separately, dual-writes them
+at every barrier commit, and rebuilds them whenever this topology
+object is replaced, so recovery, checkpointing and chaos plugins keep
+seeing exact state at every barrier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.state import Role
+
+
+class NodeTopology:
+    """Immutable array view of one node's local graph topology."""
+
+    __slots__ = (
+        "n", "gids", "occupied", "is_master", "is_mirror", "selfish",
+        "master_node", "out_deg_f", "in_counts", "has_in",
+        "in_src", "in_w", "in_dst", "out_src", "out_dst",
+        "gid_sorted", "pos_sorted", "sync_plan",
+    )
+
+    @classmethod
+    def build(cls, lg) -> "NodeTopology":
+        slots = lg.slots
+        n = len(slots)
+        topo = cls()
+        topo.n = n
+        gids = np.full(n, -1, dtype=np.int64)
+        occupied = np.zeros(n, dtype=bool)
+        is_master = np.zeros(n, dtype=bool)
+        is_mirror = np.zeros(n, dtype=bool)
+        selfish = np.zeros(n, dtype=bool)
+        master_node = np.full(n, -1, dtype=np.int64)
+        out_deg = np.zeros(n, dtype=np.float64)
+        in_counts = np.zeros(n, dtype=np.int64)
+        in_src: list[int] = []
+        in_w: list[float] = []
+        in_dst: list[int] = []
+        out_src: list[int] = []
+        out_dst: list[int] = []
+        sync_plan: dict[tuple[int, bool], list[int]] = {}
+        node_id = lg.node_id
+        for pos, slot in enumerate(slots):
+            if slot is None:
+                continue
+            occupied[pos] = True
+            gids[pos] = slot.gid
+            out_deg[pos] = slot.out_degree
+            selfish[pos] = slot.selfish
+            if slot.role is Role.MASTER:
+                is_master[pos] = True
+                master_node[pos] = node_id
+                for replica_node, is_mir in slot.meta.sync_targets():
+                    sync_plan.setdefault((replica_node, is_mir),
+                                         []).append(pos)
+            else:
+                if slot.role is Role.MIRROR:
+                    is_mirror[pos] = True
+                master_node[pos] = slot.master_node
+            edges = slot.in_edges
+            if edges:
+                in_counts[pos] = len(edges)
+                srcs, ws = zip(*edges)
+                in_src.extend(srcs)
+                in_w.extend(ws)
+                in_dst.extend([pos] * len(edges))
+            # Tombstoned targets are dropped here, mirroring the
+            # ``target is None: continue`` guard of the scalar commit.
+            outs = [d for d in slot.out_edges if slots[d] is not None]
+            if outs:
+                out_src.extend([pos] * len(outs))
+                out_dst.extend(outs)
+        topo.gids = gids
+        topo.occupied = occupied
+        topo.is_master = is_master
+        topo.is_mirror = is_mirror
+        topo.selfish = selfish
+        topo.master_node = master_node
+        topo.out_deg_f = out_deg
+        topo.in_counts = in_counts
+        topo.has_in = in_counts > 0
+        topo.in_src = np.asarray(in_src, dtype=np.int64)
+        topo.in_w = np.asarray(in_w, dtype=np.float64)
+        topo.in_dst = np.asarray(in_dst, dtype=np.int64)
+        topo.out_src = np.asarray(out_src, dtype=np.int64)
+        topo.out_dst = np.asarray(out_dst, dtype=np.int64)
+        occ = np.flatnonzero(occupied)
+        order = np.argsort(gids[occ], kind="stable")
+        topo.pos_sorted = occ[order]
+        topo.gid_sorted = gids[topo.pos_sorted]
+        topo.sync_plan = {key: np.asarray(positions, dtype=np.int64)
+                          for key, positions in sync_plan.items()}
+        return topo
+
+    def translate(self, gid_array: np.ndarray) -> np.ndarray:
+        """Map an array of gids to local positions (all must be local)."""
+        return self.pos_sorted[np.searchsorted(self.gid_sorted, gid_array)]

@@ -130,6 +130,19 @@ class VertexProgram(abc.ABC):
               ctx: ApplyContext) -> Any:
         """Produce the vertex's new value from the gathered accumulator."""
 
+    def kernel(self):
+        """Vectorized array kernel for this program, or ``None``.
+
+        A program that can express its gather/apply/activation hooks
+        array-at-a-time returns an :class:`repro.algorithms.kernels.
+        ArrayKernel` here; the engine then runs the vectorized fast
+        path (``EngineConfig.vectorized``).  The default ``None`` keeps
+        the per-vertex scalar loop — custom programs need no changes.
+        The kernel must be bit-for-bit equivalent to the scalar hooks;
+        ``tests/test_vectorized_differential.py`` is the oracle.
+        """
+        return None
+
     def participates(self, vid: int, ctx: ApplyContext) -> bool:
         """Whether an active vertex actually computes this superstep.
 

@@ -306,6 +306,29 @@ class TestActiveSnapshots:
         lg.remove_slot(2)
         assert set(lg.active_masters_snapshot()) == {1}
 
+    def test_snapshot_invalidated_by_bulk_activity_write(self):
+        """Regression (DESIGN.md §11): the vectorized barrier commit
+        flips activity through ``set_active_bulk``; a snapshot cached
+        before that write must not survive it, or the next superstep's
+        compute loop would run on the previous superstep's active set."""
+        lg = LocalGraph(0)
+        a = self.make_slot(1)
+        b = self.make_slot(2)
+        m = self.make_slot(3, role=Role.MIRROR)
+        pos = [lg.add_slot(s) for s in (a, b, m)]
+        lg.set_active(a, True)
+        stale_masters = lg.active_masters_snapshot()
+        stale_others = lg.active_others_snapshot()
+        assert set(stale_masters) == {1} and stale_others == ()
+        lg.set_active_bulk(pos, [False, True, True])
+        # Both caches were dropped, slots + sets agree with the bulk
+        # write, and the gid landed in the set matching its role.
+        assert lg.active_masters_snapshot() is not stale_masters
+        assert set(lg.active_masters_snapshot()) == {2}
+        assert set(lg.active_others_snapshot()) == {3}
+        assert (a.active, b.active, m.active) == (False, True, True)
+        assert lg.active_masters == {2} and lg.active_others == {3}
+
     def test_mid_iteration_activation_takes_effect_next_superstep(self):
         """Regression for the snapshot cache: activations committed at
         the barrier must reach the next superstep's compute loop."""

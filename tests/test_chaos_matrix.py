@@ -133,3 +133,66 @@ def test_chaos_crash_during_recovery(chaos_graph, chaos_seed_override):
     # Both crashes were handled by a single (merged) recovery pass.
     assert report.recoveries == 1
     assert len(report.chaos_result.recoveries[0].failed_nodes) == 2
+
+
+# -- vectorized slice --------------------------------------------------
+#
+# The full matrix above already runs on the vectorized fast path (it is
+# the default); this slice makes the cross-path guarantee explicit: a
+# *vectorized* run under chaos must converge to the *scalar* path's
+# failure-free values — recovery tears down and rebuilds the SoA
+# columns (Rebirth, Migration, checkpoint reload), and what comes back
+# must be bit-compatible with the per-vertex loop's truth.
+
+VEC_SLICE = [
+    ("pagerank", "hash_edge_cut", ("replication", "rebirth")),
+    ("pagerank", "hybrid_cut", ("checkpoint", "rebirth")),
+    ("sssp", "hybrid_cut", ("replication", "migration")),
+    ("sssp", "hash_edge_cut", ("checkpoint", "rebirth")),
+    ("cc", "hash_edge_cut", ("replication", "migration")),
+    ("degree", "hybrid_cut", ("replication", "rebirth")),
+]
+
+
+@pytest.mark.parametrize("algorithm,partition,ft", [
+    pytest.param(*case, id="-".join([case[0], case[1], case[2][1]]))
+    for case in VEC_SLICE])
+def test_chaos_vectorized_against_scalar_baseline(
+        chaos_graph, algorithm, partition, ft, chaos_seed_override,
+        request):
+    mode, recovery = ft
+    if chaos_seed_override is not None:
+        seed = chaos_seed_override
+    else:
+        seed = derive_seed(4102, algorithm, partition, mode, recovery)
+    # Degree converges (and halts) after two supersteps; its crashes
+    # must land in the first iteration to fire at all.
+    schedule = FailureSchedule.random(
+        seed,
+        max_iterations=1 if algorithm == "degree" else MAX_ITERATIONS - 2,
+        max_concurrent=FT_LEVEL, max_events=2)
+    kw = _job_kwargs(partition, mode, recovery, schedule.total_crashes)
+    kw["vectorized"] = True
+    scalar_kw = dict(kw, vectorized=False)
+    command = (f"PYTHONPATH=src python -m pytest "
+               f"tests/test_chaos_matrix.py --chaos-seed {seed} "
+               f"-k '{request.node.name}'")
+    report = run_differential(
+        chaos_graph, algorithm, schedule,
+        baseline=_baseline(chaos_graph, algorithm, scalar_kw),
+        command=command, **kw)
+    assert report.fired >= 1, \
+        f"schedule injected nothing: {schedule.describe()}\n{command}"
+    assert report.invariant_checks >= 1
+    assert report.matches, report.summary()
+
+
+@pytest.mark.parametrize("algorithm", ["pagerank", "sssp", "cc", "degree"])
+def test_vectorized_baseline_equals_scalar_baseline(chaos_graph,
+                                                    algorithm):
+    """Failure-free: both paths produce the same values on the chaos
+    graph under the chaos-matrix job configuration."""
+    kw = _job_kwargs("hash_edge_cut", "replication", "rebirth", 1)
+    assert (_baseline(chaos_graph, algorithm, dict(kw, vectorized=True))
+            == _baseline(chaos_graph, algorithm,
+                         dict(kw, vectorized=False)))

@@ -128,3 +128,118 @@ class TestBuilderProperties:
         for v in range(graph.num_vertices):
             for u in graph.out_neighbors(v):
                 assert v in graph.in_neighbors(int(u))
+
+
+class TestVectorizedKernelProperties:
+    """DESIGN.md §11 fuzzing: the SoA CSR build → edge-fold → apply
+    round trip must equal a per-vertex reference fold bit-for-bit on
+    arbitrary graphs — including inactive-vertex masking (unselected
+    accumulators stay at their init value) and dangling vertices
+    (no in-edges → ``has`` stays False and apply sees the identity)."""
+
+    @staticmethod
+    def _single_node_topo(graph):
+        from repro.api import make_engine
+        engine = make_engine(graph, "pagerank", num_nodes=1,
+                             ft_mode="none", max_iterations=1)
+        lg = engine.local_graphs[0]
+        return lg, lg.topology()
+
+    @SLOW
+    @given(graph=small_graphs(), mask_seed=st.integers(0, 1000))
+    def test_pagerank_fold_matches_scalar_reference(self, graph,
+                                                    mask_seed):
+        from repro.algorithms.kernels import PageRankKernel
+
+        lg, topo = self._single_node_topo(graph)
+        kernel = PageRankKernel(damping=0.85)
+        rng = np.random.default_rng(mask_seed)
+        values = rng.uniform(0.1, 2.0, size=topo.n)
+        sel = rng.random(topo.n) < 0.6
+        sel &= topo.occupied
+        esel = np.flatnonzero(sel[topo.in_dst]) \
+            if topo.in_dst.size else topo.in_dst
+        acc, has = kernel.edge_fold(topo, values, esel)
+
+        # Per-vertex reference: sequential left-to-right fold in edge
+        # order, skipping zero-out-degree sources like the scalar loop.
+        ref = np.zeros(topo.n)
+        ref_has = np.zeros(topo.n, dtype=bool)
+        for e in esel.tolist():
+            src, dst = int(topo.in_src[e]), int(topo.in_dst[e])
+            ref_has[dst] = True
+            if topo.out_deg_f[src] > 0.0:
+                ref[dst] += float(values[src]) / float(topo.out_deg_f[src])
+        assert np.array_equal(has, ref_has)
+        # Bit-exact, not approx: np.add.at accumulates in index order.
+        assert np.array_equal(acc, ref)
+        # Inactive masking: unselected positions keep the init value.
+        assert not acc[~sel].any()
+        assert not has[~sel].any()
+
+        new = kernel.apply(topo.gids, values, acc, has,
+                           ctx=None)
+        expected = (1.0 - 0.85) + 0.85 * acc
+        assert np.array_equal(new, expected)
+
+    @SLOW
+    @given(graph=small_graphs(), mask_seed=st.integers(0, 1000))
+    def test_sssp_min_fold_and_dangling(self, graph, mask_seed):
+        from repro.algorithms.kernels import SSSPKernel
+
+        lg, topo = self._single_node_topo(graph)
+        kernel = SSSPKernel(source=0)
+        rng = np.random.default_rng(mask_seed)
+        values = rng.uniform(0.0, 10.0, size=topo.n)
+        sel = topo.occupied.copy()
+        esel = np.flatnonzero(sel[topo.in_dst]) \
+            if topo.in_dst.size else topo.in_dst
+        acc, has = kernel.edge_fold(topo, values, esel)
+
+        ref = np.full(topo.n, np.inf)
+        for e in esel.tolist():
+            src, dst = int(topo.in_src[e]), int(topo.in_dst[e])
+            ref[dst] = min(ref[dst], float(values[src])
+                           + float(topo.in_w[e]))
+        assert np.array_equal(acc, ref)
+        # Dangling vertices (no in-edges) never get an accumulator.
+        dangling = topo.occupied & ~topo.has_in
+        assert not has[dangling].any()
+        assert np.isinf(acc[dangling]).all()
+        # Min-apply keeps the old distance where nothing arrived.
+        new = kernel.apply(topo.gids, values, acc, has, ctx=None)
+        assert np.array_equal(new[dangling], values[dangling])
+
+    @SLOW
+    @given(graph=small_graphs(), mask_seed=st.integers(0, 1000))
+    def test_cc_presence_gated_apply(self, graph, mask_seed):
+        from repro.algorithms.kernels import CCKernel
+
+        lg, topo = self._single_node_topo(graph)
+        kernel = CCKernel()
+        rng = np.random.default_rng(mask_seed)
+        values = rng.integers(0, graph.num_vertices,
+                              size=topo.n).astype(np.int64)
+        sel = rng.random(topo.n) < 0.5
+        sel &= topo.occupied
+        esel = np.flatnonzero(sel[topo.in_dst]) \
+            if topo.in_dst.size else topo.in_dst
+        acc, has = kernel.edge_fold(topo, values, esel)
+        new = kernel.apply(topo.gids, values, acc, has, ctx=None)
+        # Presence-gated: positions without any contribution keep the
+        # old label exactly (the int64 sentinel never leaks through).
+        assert np.array_equal(new[~has], values[~has])
+        ref = values.copy()
+        for e in esel.tolist():
+            src, dst = int(topo.in_src[e]), int(topo.in_dst[e])
+            ref[dst] = min(ref[dst], values[src])
+        assert np.array_equal(new, ref)
+
+    @SLOW
+    @given(graph=small_graphs())
+    def test_translate_roundtrip(self, graph):
+        """gid -> position translation inverts the position -> gid map
+        for every occupied slot."""
+        lg, topo = self._single_node_topo(graph)
+        occ = np.flatnonzero(topo.occupied)
+        assert np.array_equal(topo.translate(topo.gids[occ]), occ)
