@@ -1,22 +1,22 @@
 #!/usr/bin/env python3
 """Real-process demo: Imitator's replication protocol over OS processes.
 
-The library's engine simulates a cluster deterministically in one
-process (best for experiments). This example shows the same
-master/replica message protocol running across *actual* worker
-processes connected by pipes, to make the distributed structure
-tangible:
+A thin wrapper over :class:`repro.exec.mp.MultiprocessingBackend` —
+the same superstep protocol the deterministic simulator runs, executed
+across *actual* worker processes connected by pipes:
 
-* the graph is hash edge-cut partitioned across N worker processes;
-* each worker owns its masters (with their full in-edge lists) and
-  hosts replicas of remote in-neighbors;
-* each PageRank superstep, every worker computes its masters locally
-  and ships value syncs to the replicas' hosts, then all workers meet
-  at a barrier;
-* one worker is killed mid-run; the coordinator reconstructs its
-  partition on a standby process from the replicas the *other* workers
-  hold (the Rebirth idea: surviving state, not disk, feeds recovery),
-  and the job finishes with exactly the same ranks as a clean run.
+* the graph is hash edge-cut partitioned across N worker processes,
+  each forked with its partition (masters, replicas, mirrors);
+* every PageRank superstep, workers compute their masters locally and
+  ship columnar sync batches to the replicas' hosts, meeting at the
+  coordinator's commit barrier;
+* one worker is killed mid-run with a real ``SIGKILL``; the
+  coordinator detects the death via its heartbeat/sentinel loop and
+  rebirths the partition on a fresh process from the replicas the
+  *surviving* workers hold (no disk involved), and the job finishes
+  with exactly the same ranks as a clean run;
+* a simulator run of the identical spec cross-checks the distributed
+  execution value-for-value and message-for-message.
 
 Run with::
 
@@ -25,190 +25,15 @@ Run with::
 
 from __future__ import annotations
 
-import multiprocessing as mp
-
-import numpy as np
-
+from repro.exec.base import BackendSpec
+from repro.exec.mp import MultiprocessingBackend
+from repro.exec.simulator import SimulatorBackend
 from repro.graph import generators
-from repro.partition import hash_edge_cut
 
 NUM_WORKERS = 4
 ITERATIONS = 8
 KILL_AT_ITERATION = 4
 KILLED_WORKER = 2
-DAMPING = 0.85
-
-
-def build_partitions(graph, num_workers):
-    """Per-worker: masters, their in-edges, and replica routing."""
-    part = hash_edge_cut(graph, num_workers)
-    master_of = part.master_of
-    out_deg = graph.out_degrees()
-    partitions = []
-    for w in range(num_workers):
-        masters = np.flatnonzero(master_of == w)
-        in_edges = {int(v): [int(u) for u in graph.in_neighbors(int(v))]
-                    for v in masters}
-        # Where do my masters' values need to go?  To every worker
-        # hosting one of their out-edges — plus, for vertices without
-        # any remote consumer, one *FT replica* on a buddy worker.
-        # This is the paper's Section 4.1 extension: without it, a
-        # replica-less vertex would be unrecoverable after a crash.
-        routes: dict[int, set[int]] = {}
-        for v in masters:
-            targets = {int(master_of[t]) for t in
-                       graph.out_neighbors(int(v))} - {w}
-            if not targets:
-                targets = {(w + 1) % num_workers}
-            routes[int(v)] = targets
-        partitions.append({
-            "worker": w,
-            "masters": [int(v) for v in masters],
-            "in_edges": in_edges,
-            "routes": {v: sorted(t) for v, t in routes.items()},
-            "out_degree": {int(v): int(out_deg[v]) for v in
-                           range(graph.num_vertices)},
-        })
-    return partitions
-
-
-def worker_loop(spec, inbox, outboxes, coordinator):
-    """One worker process: compute masters, sync replicas, barrier."""
-    values = {v: 1.0 for v in spec["masters"]}
-    replicas: dict[int, float] = {}
-    for sources in spec["in_edges"].values():
-        for u in sources:
-            if u not in values:
-                replicas[u] = 1.0
-    # Peers' sync batches may race ahead of the coordinator's commands
-    # on the shared inbox; buffer them until the step consumes them.
-    early_syncs: list = []
-
-    def recv_command():
-        while True:
-            msg = inbox.recv()
-            if msg[0] == "sync":
-                early_syncs.append(msg)
-                continue
-            return msg
-
-    def recv_sync():
-        if early_syncs:
-            return early_syncs.pop(0)
-        msg = inbox.recv()
-        assert msg[0] == "sync"
-        return msg
-
-    while True:
-        command = recv_command()
-        if command[0] == "stop":
-            coordinator.send(("state", spec["worker"], values))
-            return
-        if command[0] == "load":  # rebirth: adopt a recovered partition
-            _, values, replicas = command
-            coordinator.send(("loaded", spec["worker"]))
-            continue
-        assert command[0] == "step"
-        new_values = {}
-        for v in spec["masters"]:
-            acc = 0.0
-            for u in spec["in_edges"][v]:
-                val = values.get(u, replicas.get(u, 1.0))
-                deg = spec["out_degree"][u]
-                if deg:
-                    acc += val / deg
-            new_values[v] = (1 - DAMPING) + DAMPING * acc
-        # Sync phase: batched messages per destination worker.
-        batches: dict[int, list] = {w: [] for w in range(len(outboxes))}
-        for v, destinations in spec["routes"].items():
-            for w in destinations:
-                batches[w].append((v, new_values[v]))
-        for w, batch in batches.items():
-            if w != spec["worker"]:
-                outboxes[w].send(("sync", spec["worker"], batch))
-        values.update(new_values)
-        # Receive one sync bundle from every peer, then barrier.
-        expected = len(outboxes) - 1
-        for _ in range(expected):
-            _kind, _src, batch = recv_sync()
-            for v, value in batch:
-                replicas[v] = value
-        coordinator.send(("barrier", spec["worker"],
-                          dict(values), dict(replicas)))
-
-
-def run_cluster(graph, kill=False):
-    partitions = build_partitions(graph, NUM_WORKERS)
-    ctx = mp.get_context("fork")
-    to_worker = [ctx.Pipe() for _ in range(NUM_WORKERS)]
-    to_coord = [ctx.Pipe() for _ in range(NUM_WORKERS)]
-    workers = []
-    for w, spec in enumerate(partitions):
-        proc = ctx.Process(
-            target=worker_loop,
-            args=(spec, to_worker[w][1],
-                  [to_worker[i][0] for i in range(NUM_WORKERS)],
-                  to_coord[w][0]),
-            daemon=True)
-        proc.start()
-        workers.append(proc)
-
-    # Coordinator: replica snapshots double as the recovery source.
-    last_replica_view: list[dict] = [{} for _ in range(NUM_WORKERS)]
-    last_master_view: list[dict] = [{} for _ in range(NUM_WORKERS)]
-    for iteration in range(ITERATIONS):
-        if kill and iteration == KILL_AT_ITERATION:
-            workers[KILLED_WORKER].terminate()
-            workers[KILLED_WORKER].join()
-            print(f"  !! worker {KILLED_WORKER} killed before "
-                  f"iteration {iteration}")
-            # Rebirth: rebuild the dead partition's masters from the
-            # replicas held by the survivors, on a fresh process.
-            spec = partitions[KILLED_WORKER]
-            recovered = {}
-            for w in range(NUM_WORKERS):
-                if w == KILLED_WORKER:
-                    continue
-                for v, value in last_replica_view[w].items():
-                    if v in spec["in_edges"]:
-                        recovered[v] = value
-            for v in spec["masters"]:
-                recovered.setdefault(v, 1.0)
-            replicas = {}
-            for w in range(NUM_WORKERS):
-                if w == KILLED_WORKER:
-                    continue
-                for v, value in last_master_view[w].items():
-                    replicas[v] = value
-            # The standby adopts the dead worker's *logical identity*:
-            # it inherits the same pipes, so peers keep addressing it
-            # unchanged (the paper's logical-id takeover).
-            proc = ctx.Process(
-                target=worker_loop,
-                args=(spec, to_worker[KILLED_WORKER][1],
-                      [to_worker[i][0] for i in range(NUM_WORKERS)],
-                      to_coord[KILLED_WORKER][0]),
-                daemon=True)
-            proc.start()
-            workers[KILLED_WORKER] = proc
-            to_worker[KILLED_WORKER][0].send(("load", recovered, replicas))
-            to_coord[KILLED_WORKER][1].recv()
-            print(f"  -> reborn with {len(recovered)} master values "
-                  f"recovered from surviving replicas")
-        for w in range(NUM_WORKERS):
-            to_worker[w][0].send(("step",))
-        for w in range(NUM_WORKERS):
-            kind, worker, masters, replicas_view = to_coord[w][1].recv()
-            assert kind == "barrier"
-            last_master_view[worker] = masters
-            last_replica_view[worker] = replicas_view
-    values = {}
-    for w in range(NUM_WORKERS):
-        to_worker[w][0].send(("stop",))
-        _, _, masters = to_coord[w][1].recv()
-        values.update(masters)
-        workers[w].join()
-    return values
 
 
 def main() -> None:
@@ -216,15 +41,40 @@ def main() -> None:
                                  name="mp-demo")
     print(f"{NUM_WORKERS} worker processes, |V|={graph.num_vertices}, "
           f"|E|={graph.num_edges}, {ITERATIONS} PageRank iterations")
-    print("\nclean run:")
-    clean = run_cluster(graph, kill=False)
-    print("  done")
-    print("\nrun with a killed worker:")
-    recovered = run_cluster(graph, kill=True)
-    worst = max(abs(clean[v] - recovered[v]) for v in clean)
+    spec = BackendSpec(algorithm="pagerank", num_nodes=NUM_WORKERS,
+                       ft_level=1, max_iterations=ITERATIONS)
+
+    print("\nclean run (multiprocessing backend):")
+    with MultiprocessingBackend() as backend:
+        clean = backend.run(graph, spec)
+    print(f"  done — {clean.total_msgs} logical messages in "
+          f"{clean.total_batches} batches across {clean.iterations} "
+          f"supersteps")
+
+    print("\nrun with a SIGKILLed worker:")
+    kill_spec = BackendSpec(
+        algorithm="pagerank", num_nodes=NUM_WORKERS, ft_level=1,
+        max_iterations=ITERATIONS,
+        failures=((KILL_AT_ITERATION, (KILLED_WORKER,), "compute"),))
+    with MultiprocessingBackend() as backend:
+        survived = backend.run(graph, kill_spec)
+    print(f"  worker {KILLED_WORKER} killed at iteration "
+          f"{KILL_AT_ITERATION}; {survived.failures_recovered} rebirth "
+          f"recovered its partition from surviving replicas")
+
+    worst = max(abs(clean.values[v] - survived.values[v])
+                for v in clean.values)
     print(f"\nmax |rank difference| clean vs recovered: {worst:.2e}")
-    assert worst < 1e-12
+    assert worst == 0.0
     print("identical results — replicas were a complete backup.")
+
+    print("\ncross-backend check (deterministic simulator, same spec):")
+    sim = SimulatorBackend().run(graph, spec)
+    assert sim.values == clean.values
+    assert sim.total_msgs == clean.total_msgs
+    assert sim.msgs_by_kind == clean.msgs_by_kind
+    print(f"  simulator agrees bit-for-bit: {sim.total_msgs} logical "
+          f"messages, identical values on all {len(sim.values)} vertices.")
 
 
 if __name__ == "__main__":

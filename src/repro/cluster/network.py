@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import UnknownNodeError
+from repro.exec.transport import LocalHub
 from repro.obs.registry import MetricsRegistry
 from repro.utils.sizing import BYTES_PER_MSG_HEADER
 
@@ -126,11 +127,14 @@ class Network:
     def __init__(self, is_alive: Callable[[int], bool],
                  metrics: MetricsRegistry | None = None):
         self._is_alive = is_alive
-        self._queues: dict[int, list[Message]] = defaultdict(list)
+        #: Per-destination FIFO inbox queues — the extracted
+        #: :class:`~repro.exec.transport.LocalHub` structure shared with
+        #: the in-process transport endpoints (DESIGN.md §12).
+        self._queues = LocalHub()
         #: Messages held back by a ``delay`` fault verdict; merged at the
         #: back of the destination's inbox on the next ``deliver`` (late
         #: arrival within the same barrier window).
-        self._delayed: dict[int, list[Message]] = defaultdict(list)
+        self._delayed = LocalHub()
         # step-scoped counters (reset by begin_step)
         self.step_bytes: dict[int, dict[int, int]] = \
             defaultdict(lambda: defaultdict(int))
@@ -212,7 +216,7 @@ class Network:
             # Local delivery is free in the real systems too: co-located
             # master/replica pairs share memory.  Still delivered so the
             # engine code stays uniform, but not counted as traffic.
-            self._queues[msg.dst].append(msg)
+            self._queues.append(msg.dst, msg)
             return
         if not self._is_alive(msg.dst):
             self.metrics.inc("net.dropped_msgs", record_count(msg.payload))
@@ -247,7 +251,7 @@ class Network:
 
     def _enqueue(self, msg: Message, delayed: bool = False) -> None:
         """Queue one physical message and charge all counters."""
-        (self._delayed if delayed else self._queues)[msg.dst].append(msg)
+        (self._delayed if delayed else self._queues).append(msg.dst, msg)
         wire_bytes = msg.nbytes + BYTES_PER_MSG_HEADER
         records = record_count(msg.payload)
         self.step_bytes[msg.src][msg.dst] += wire_bytes
@@ -334,19 +338,18 @@ class Network:
         """
         if not self._is_alive(node_id):
             raise UnknownNodeError(node_id)
-        inbox = self._queues.pop(node_id, [])
-        late = self._delayed.pop(node_id, None)
+        inbox = self._queues.drain(node_id)
+        late = self._delayed.drain(node_id)
         if late:
             inbox.extend(late)
         return inbox
 
     def peek_inbox_size(self, node_id: int) -> int:
-        return (len(self._queues.get(node_id, ()))
-                + len(self._delayed.get(node_id, ())))
+        return self._queues.size(node_id) + self._delayed.size(node_id)
 
     def queued_node_ids(self) -> set[int]:
         """Node ids currently holding a (possibly delayed) queue entry."""
-        return set(self._queues) | set(self._delayed)
+        return self._queues.dsts() | self._delayed.dsts()
 
     # -- failure interaction ---------------------------------------------
 
@@ -365,24 +368,12 @@ class Network:
         """
         purged = 0
         purged_records = 0
-        for queues in (self._queues, self._delayed):
-            for dst in list(queues):
-                queue = queues[dst]
-                kept = [m for m in queue if m.src != node_id]
-                removed = len(queue) - len(kept)
-                if not removed:
-                    continue
-                purged += removed
-                for m in queue:
-                    if m.src != node_id:
-                        continue
-                    purged_records += record_count(m.payload)
-                    if m.src != m.dst:  # self-sends never step-counted
-                        self._deduct_step(m)
-                if kept:
-                    queues[dst] = kept
-                else:
-                    del queues[dst]
+        for hub in (self._queues, self._delayed):
+            for m in hub.remove(lambda m: m.src == node_id):
+                purged += 1
+                purged_records += record_count(m.payload)
+                if m.src != m.dst:  # self-sends never step-counted
+                    self._deduct_step(m)
         if purged:
             # The metric counts logical records (the paper's message
             # unit); the return value counts physical queue entries.
@@ -396,8 +387,8 @@ class Network:
         key left behind for every crashed incarnation would leak across
         repeated rebirth cycles.
         """
-        queued = self._queues.pop(node_id, None) or []
-        delayed = self._delayed.pop(node_id, None) or []
+        queued = self._queues.drain(node_id)
+        delayed = self._delayed.drain(node_id)
         n = len(queued) + len(delayed)
         if n:
             self.metrics.inc(

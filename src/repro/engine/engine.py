@@ -43,14 +43,7 @@ from repro.costmodel import (
     pairwise_comm_time,
 )
 from repro.engine.construction import ConstructionReport, build_local_graphs
-from repro.engine.local_graph import LocalGraph
-from repro.engine.messages import (
-    ActivateBatch,
-    ActiveBroadcastBatch,
-    GatherBatch,
-    MirrorSyncPayload,
-    SyncBatch,
-)
+from repro.engine.messages import ActivateBatch, SyncBatch
 from repro.engine.state import VertexSlot
 from repro.engine.vectorized import VectorizedExecutor
 from repro.engine.vertex_program import ApplyContext, VertexProgram
@@ -59,6 +52,7 @@ from repro.errors import (
     NoStandbyNodeError,
     UnrecoverableFailureError,
 )
+from repro.exec.protocol import NodeProtocol
 from repro.ft.checkpoint import CheckpointManager
 from repro.ft.edge_ckpt import EdgeCkptStore, EdgeRecord
 from repro.ft.recovery import RecoveryOutcome, RecoveryStats
@@ -176,6 +170,15 @@ class Engine:
             #: no-op sync elision.
             self._batch_syncs = self.job.engine.batch_syncs
             self._sync_elision = self.job.engine.sync_elision
+            #: Backend-agnostic per-node protocol (DESIGN.md §12): the
+            #: scalar compute/sync/commit paths below delegate here, and
+            #: the multiprocessing backend runs the same object inside
+            #: worker processes.  ``selfish_opt`` is refreshed at every
+            #: superstep from :attr:`selfish_opt_active`.
+            self._protocol = NodeProtocol(
+                program, self.is_edge_cut,
+                sync_elision=self._sync_elision,
+                selfish_opt=False)
             #: Vectorized SoA fast path (DESIGN.md §11): engaged when
             #: the config allows it AND the program declares an array
             #: kernel; edge-mutating programs always run scalar.
@@ -444,9 +447,6 @@ class Engine:
         """Drop nodes a chaos plugin crashed since the list was taken."""
         return [n for n in nodes if self.cluster.node(n).is_alive]
 
-    def _mark_dirty(self, node: int, slot: VertexSlot) -> None:
-        self._dirty[node][slot.gid] = slot
-
     def _run_superstep(self) -> tuple[int, ...] | None:
         """Compute + communicate; returns failed nodes or None."""
         net = self.cluster.network
@@ -508,51 +508,14 @@ class Engine:
                 sp.annotate(failed_nodes=list(failed))
         return failed if failed else None
 
-    def _compute_master(self, node: int, lg: LocalGraph, slot: VertexSlot,
-                        acc: Any, ctx: ApplyContext, selfish_opt: bool,
-                        outbox: dict, edge_updates: tuple = ()) -> None:
-        """Apply + stage + sync one master's update (both modes)."""
-        program = self.program
-        new_value = program.apply(slot.gid, slot.value, acc, ctx)
-        activates = program.activates_neighbors(
-            slot.gid, slot.value, new_value, ctx)
-        self_active = program.stays_active(
-            slot.gid, slot.value, new_value, ctx)
-        slot.pending_value = new_value
-        slot.has_pending = True
-        slot.pending_activates = activates
-        slot.pending_active = self_active
-        self._mark_dirty(node, slot)
-        self._send_syncs(slot, new_value, activates, self_active,
-                         selfish_opt, outbox, edge_updates)
-
-    def _gather_edges(self, lg: LocalGraph, slot: VertexSlot,
-                      ctx: ApplyContext) -> tuple[Any, tuple]:
-        """Fold a slot's local in-edges; collect staged edge mutations."""
-        program = self.program
-        acc = program.gather_init()
-        if not self.program.mutates_edges:
-            for src_pos, weight in slot.in_edges:
-                acc = program.gather(acc, lg.view(src_pos), weight,
-                                     slot.gid)
-            return acc, ()
-        updates = []
-        for idx, (src_pos, weight) in enumerate(slot.in_edges):
-            view = lg.view(src_pos)
-            acc = program.gather(acc, view, weight, slot.gid)
-            new_weight = program.update_edge(view, slot.gid, weight, ctx)
-            if new_weight is not None and new_weight != weight:
-                updates.append((idx, new_weight))
-        if updates:
-            self._edge_updates[lg.node_id].append((slot, updates))
-        return acc, tuple(updates)
-
     # -- edge-cut ---------------------------------------------------------
 
     def _edge_cut_compute(self, alive: list[int]) -> None:
         ctx = self._ctx()
-        program = self.program
-        selfish_opt = self.selfish_opt_active
+        proto = self._protocol
+        proto.selfish_opt = self.selfish_opt_active
+        mutation_log = (self._edge_updates
+                        if self.program.mutates_edges else None)
         # Chaos hook fires mid-loop so a crash lands after a prefix of
         # the nodes computed and sent their syncs (partial-batch loss).
         mid = (len(alive) + 1) // 2 if len(alive) > 1 else 0
@@ -562,72 +525,15 @@ class Engine:
             if not self.cluster.node(node).is_alive:
                 continue
             lg = self.local_graphs[node]
-            edges = 0
-            vertices = 0
             outbox: dict = {}
-            for gid in lg.active_masters_snapshot():
-                slot = lg.slot_of(gid)
-                if not program.participates(gid, ctx):
-                    continue
-                acc, updates = self._gather_edges(lg, slot, ctx)
-                edges += len(slot.in_edges)
-                vertices += 1
-                self._compute_master(node, lg, slot, acc, ctx, selfish_opt,
-                                     outbox, updates)
+            edges, vertices, elided = proto.edge_cut_compute_node(
+                lg, ctx, outbox, self._dirty[node], mutation_log)
+            self.syncs_elided += elided
             # Flushed per node, so a mid-compute crash still loses the
             # not-yet-computed nodes' syncs (partial-batch semantics).
             self._flush_batches(node, outbox)
             self._step_edges[node] += edges
             self._step_vertices[node] += vertices
-
-    def _send_syncs(self, slot: VertexSlot, new_value: Any,
-                    activates: bool, self_active: bool, selfish_opt: bool,
-                    outbox: dict, edge_updates: tuple = ()) -> None:
-        """Master -> replica/mirror synchronisation records.
-
-        Records accumulate into the sending node's per-(dst, kind)
-        columnar outbox, flushed once per node per superstep
-        (:meth:`_flush_batches`).  A master whose committed update is a
-        non-activating no-op elides its records: replicas already hold
-        the value, and because the previous commit also did not
-        activate (``last_activates`` is clear) recovery replay has
-        nothing to lose from the skipped ``last_update_iter`` stamp
-        (DESIGN.md §10).
-        """
-        if slot.selfish and selfish_opt:
-            # Selfish optimisation (Section 4.4): no consumers, no sync;
-            # recovery recomputes the dynamic state.
-            return
-        mirror_updates = edge_updates if self.is_edge_cut else ()
-        if self._sync_elision:
-            noop = (not activates and not slot.last_activates
-                    and new_value == slot.value)
-            plain_elide = noop
-            mirror_elide = (noop and not mirror_updates
-                            and self_active == slot.mirror_self_active)
-        else:
-            plain_elide = mirror_elide = False
-        value_nbytes = self.program.value_nbytes(new_value)
-        for replica_node, is_mirror in slot.meta.sync_targets():
-            if is_mirror:
-                if mirror_elide:
-                    self.syncs_elided += 1
-                    continue
-                key = (replica_node, MessageKind.MIRROR_SYNC)
-                batch = outbox.get(key)
-                if batch is None:
-                    batch = outbox[key] = SyncBatch(full_state=True)
-                batch.append(slot.gid, new_value, value_nbytes, activates,
-                             self_active, mirror_updates)
-            else:
-                if plain_elide:
-                    self.syncs_elided += 1
-                    continue
-                key = (replica_node, MessageKind.SYNC)
-                batch = outbox.get(key)
-                if batch is None:
-                    batch = outbox[key] = SyncBatch()
-                batch.append(slot.gid, new_value, value_nbytes, activates)
 
     def _flush_batches(self, node: int, outbox: dict) -> None:
         """Ship a node's accumulated batches, one message per pair.
@@ -653,40 +559,27 @@ class Engine:
         """Phase 0: masters whose activity changed since replicas last
         heard broadcast the flag (cheap; zero for always-active runs).
         Shared by the scalar and vectorized paths."""
+        proto = self._protocol
         for node in alive:
             lg = self.local_graphs[node]
             pending = self._broadcast_pending.get(node)
             if not pending:
                 continue
-            outbox: dict = {}
-            for gid in sorted(pending):
-                if gid not in lg.index_of:
-                    continue
-                slot = lg.slot_of(gid)
-                if not slot.is_master \
-                        or slot.replicas_known_active == slot.active:
-                    continue
-                for replica_node, _is_mirror in slot.meta.sync_targets():
-                    key = (replica_node, MessageKind.CONTROL)
-                    batch = outbox.get(key)
-                    if batch is None:
-                        batch = outbox[key] = ActiveBroadcastBatch()
-                    batch.append(gid, slot.active)
-                slot.replicas_known_active = slot.active
+            outbox = proto.broadcast_build(lg, pending)
             pending.clear()
             self._flush_batches(node, outbox)
         for node in alive:
             lg = self.local_graphs[node]
             for msg in net.deliver(node):
-                batch = msg.payload
-                for gid, active in zip(batch.gids, batch.actives):
-                    lg.set_active(lg.slot_of(gid), active)
+                proto.broadcast_apply(lg, msg.payload)
 
     def _vertex_cut_compute(self, alive: list[int]) -> None:
         ctx = self._ctx()
-        program = self.program
+        proto = self._protocol
+        proto.selfish_opt = self.selfish_opt_active
         net = self.cluster.network
-        selfish_opt = self.selfish_opt_active
+        mutation_log = (self._edge_updates
+                        if self.program.mutates_edges else None)
 
         self._vertex_cut_broadcast(alive, net)
 
@@ -695,26 +588,13 @@ class Engine:
             node: defaultdict(list) for node in alive}
         for node in alive:
             lg = self.local_graphs[node]
-            edges = 0
-            outbox = {}
-            for gid in (lg.active_masters_snapshot()
-                        + lg.active_others_snapshot()):
-                slot = lg.slot_of(gid)
-                if not slot.in_edges:
-                    continue
-                if not program.participates(gid, ctx):
-                    continue
-                acc, _updates = self._gather_edges(lg, slot, ctx)
-                edges += len(slot.in_edges)
-                master_node = (node if slot.is_master else slot.master_node)
-                if master_node == node:
-                    partials[node][gid].append((node, acc))
-                else:
-                    key = (master_node, MessageKind.GATHER)
-                    batch = outbox.get(key)
-                    if batch is None:
-                        batch = outbox[key] = GatherBatch()
-                    batch.append(gid, acc, program.acc_nbytes(acc))
+            outbox: dict = {}
+            local: list[tuple[int, Any]] = []
+            edges = proto.vertex_gather(lg, ctx, outbox, local,
+                                        mutation_log)
+            bucket = partials[node]
+            for gid, acc in local:
+                bucket[gid].append((node, acc))
             self._flush_batches(node, outbox)
             self._step_edges[node] += edges
         # Partial gathers are in flight toward the masters: a crash here
@@ -732,19 +612,10 @@ class Engine:
         # determinism), apply, and scatter.
         for node in alive:
             lg = self.local_graphs[node]
-            vertices = 0
             outbox = {}
-            for gid in lg.active_masters_snapshot():
-                slot = lg.slot_of(gid)
-                if not program.participates(gid, ctx):
-                    continue
-                acc = program.gather_init()
-                for _, part in sorted(partials[node].get(gid, ()),
-                                      key=lambda item: item[0]):
-                    acc = program.gather_sum(acc, part)
-                vertices += 1
-                self._compute_master(node, lg, slot, acc, ctx, selfish_opt,
-                                     outbox)
+            vertices, elided = proto.master_fold_apply(
+                lg, partials[node], ctx, outbox, self._dirty[node])
+            self.syncs_elided += elided
             self._flush_batches(node, outbox)
             self._step_vertices[node] += vertices
 
@@ -799,6 +670,7 @@ class Engine:
         return ckpt_time
 
     def _apply_received_syncs(self, alive: list[int], net) -> None:
+        proto = self._protocol
         for node in alive:
             lg = self.local_graphs[node]
             for msg in net.deliver(node):
@@ -807,42 +679,14 @@ class Engine:
                     if self._vec is not None:
                         self._vec.stage_sync_batch(node, payload)
                     else:
-                        self._apply_sync_batch(node, lg, payload)
+                        proto.apply_sync_batch(lg, payload,
+                                               self._dirty[node])
                     continue
                 # Legacy scalar payloads (recovery paths, tests).
                 if self._vec is not None:
                     self._vec.stage_scalar(node, payload)
                     continue
-                slot = lg.slot_of(payload.gid)
-                slot.pending_value = payload.value
-                slot.has_pending = True
-                slot.pending_activates = payload.activates
-                if isinstance(payload, MirrorSyncPayload):
-                    slot.pending_active = payload.self_active
-                    if payload.edge_updates and slot.full_edges is not None:
-                        for idx, weight in payload.edge_updates:
-                            gid0, pos, _old = slot.full_edges[idx]
-                            slot.full_edges[idx] = (gid0, pos, weight)
-                self._mark_dirty(node, slot)
-
-    def _apply_sync_batch(self, node: int, lg: LocalGraph,
-                          batch: SyncBatch) -> None:
-        """Stage every record of one received sync batch."""
-        full = batch.full_state
-        dirty = self._dirty[node]
-        for i, gid in enumerate(batch.gids):
-            slot = lg.slot_of(gid)
-            slot.pending_value = batch.values[i]
-            slot.has_pending = True
-            slot.pending_activates = batch.activates(i)
-            if full:
-                slot.pending_active = batch.self_active(i)
-                updates = batch.edge_updates[i]
-                if updates and slot.full_edges is not None:
-                    for idx, weight in updates:
-                        gid0, pos, _old = slot.full_edges[idx]
-                        slot.full_edges[idx] = (gid0, pos, weight)
-            dirty[gid] = slot
+                proto.apply_scalar_sync(lg, payload, self._dirty[node])
 
     def _commit_edge_mutations(self) -> None:
         if self._edge_updates:
@@ -873,27 +717,13 @@ class Engine:
         number of active masters after the superstep."""
         if self._vec is not None:
             return self._vec.commit_values(alive, net)
+        proto = self._protocol
         activation_signals: set[tuple[int, int, int]] = set()
         for node in alive:
             lg = self.local_graphs[node]
-            # Snapshot: activation marking adds targets to the dirty map.
-            for slot in list(self._dirty[node].values()):
-                if not slot.has_pending:
-                    continue
-                slot.value = slot.pending_value
-                slot.last_activates = slot.pending_activates
-                slot.last_update_iter = self.iteration
-                if slot.pending_activates:
-                    for dst_pos in slot.out_edges:
-                        target = lg.slots[dst_pos]
-                        if target is None:
-                            continue
-                        if target.is_master:
-                            target.next_active = True
-                            self._mark_dirty(node, target)
-                        else:
-                            activation_signals.add(
-                                (node, target.master_node, target.gid))
+            for dst_node, gid in proto.commit_stage1(
+                    lg, self._dirty[node], self.iteration):
+                activation_signals.add((node, dst_node, gid))
 
         # Vertex-cut: remote activation signals travel to masters.
         if activation_signals:
@@ -920,30 +750,15 @@ class Engine:
                             f"unexpected {msg.kind.value} message from "
                             f"node {msg.src} in the activation exchange "
                             f"of iteration {self.iteration}")
-                    for gid in msg.payload.gids:
-                        slot = lg.slot_of(gid)
-                        slot.next_active = True
-                        self._mark_dirty(node, slot)
+                    proto.apply_activations(lg, msg.payload.gids,
+                                            self._dirty[node])
 
         # Finalise active flags for the touched slots.
         for node in alive:
             lg = self.local_graphs[node]
-            for slot in self._dirty[node].values():
-                if slot.is_master:
-                    self_part = slot.has_pending and slot.pending_active
-                    if slot.has_pending:
-                        # Track the self-active flag the mirrors just
-                        # received, so recovery can rebuild them.
-                        slot.mirror_self_active = slot.pending_active
-                    lg.set_active(slot, bool(self_part or slot.next_active))
-                    if (not self.is_edge_cut
-                            and slot.active != slot.replicas_known_active):
-                        self._broadcast_pending[node].add(slot.gid)
-                elif slot.is_mirror and slot.has_pending:
-                    # Mirrors track the master's self-sustained activity;
-                    # remote activations are replayed at recovery.
-                    slot.mirror_self_active = slot.pending_active
-                slot.clear_pending()
+            stale = proto.finalize_commit(lg, self._dirty[node])
+            if stale:
+                self._broadcast_pending[node].update(stale)
         return sum(len(self.local_graphs[n].active_masters)
                    for n in alive)
 

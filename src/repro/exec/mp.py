@@ -1,0 +1,739 @@
+"""Multiprocessing execution backend (DESIGN.md §12).
+
+Each cluster node runs as a real ``multiprocessing.Process`` (fork
+start method) owning one partition's :class:`LocalGraph`, forked from
+a pristine parent-side ``Engine`` that itself never runs a superstep.
+Workers execute exactly the scalar :class:`~repro.exec.protocol.
+NodeProtocol` the simulator delegates to; the coordinator drives the
+superstep rounds over per-worker duplex pipes (star topology) and
+routes the encoded columnar batches between workers.
+
+Determinism / parity
+--------------------
+Committed values and logical-message counts are identical to the
+simulator by construction: both backends run the same per-node
+protocol over the same forked per-node state, and the protocol is
+order-independent across senders (each gid has a single master, partial
+gathers fold in sorted sender order, activations are idempotent), so
+nondeterministic frame arrival cannot change outcomes.  The coordinator
+books traffic per routed batch with the simulator's own units — logical
+records per batch, payload bytes plus ``BYTES_PER_MSG_HEADER`` per
+physical batch.
+
+Failure handling
+----------------
+The chaos schedule (``BackendSpec.failures``) delivers real
+``SIGKILL``s.  Death is detected by the coordinator's heartbeat loop —
+``multiprocessing.connection.wait`` over worker pipes *and* process
+sentinels, with consecutive-miss counting as the hang guard.  A death
+inside a compute round aborts the iteration on the survivors (staged
+state is discarded) and the iteration is redone after recovery, so no
+partial superstep ever commits; a death between iterations recovers in
+place.  Recovery is the rebirth rung only: a replacement worker is
+forked from the pristine parent engine, survivors ship the replication
+state they hold for the dead rank (mirror copies preferred, lowest
+surviving rank breaking ties), the replacement's masters are
+conservatively reactivated, and — under vertex-cut — every rank's next
+phase-0 broadcast is forced so activity flags re-converge.
+
+Scope limits (rejected specs raise :class:`BackendError`): fork start
+method required, edge-mutating programs unsupported, ``ft_mode`` must
+be ``none``/``replication``, recovery must be ``rebirth``, and batched
+syncs are mandatory (the wire format is the batch).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any
+
+from repro.api import make_engine
+from repro.engine.messages import ActivateBatch
+from repro.engine.vertex_program import ApplyContext
+from repro.errors import UnrecoverableFailureError
+from repro.exec.base import (BackendError, BackendRunResult, BackendSpec,
+                             ExecutionBackend)
+from repro.exec.protocol import NodeProtocol
+from repro.exec.serialize import (decode_batch, encode_batch,
+                                  encoded_nbytes, encoded_records)
+from repro.utils.sizing import BYTES_PER_MSG_HEADER
+
+
+class _WorkerDeath(Exception):
+    """Internal: one or more workers died (carries the dead ranks)."""
+
+    def __init__(self, ranks: set[int]):
+        super().__init__(f"workers died: {sorted(ranks)}")
+        self.ranks = set(ranks)
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+def _force_rebroadcast(lg, pending_broadcast: set[int]) -> None:
+    """Queue a full activity re-broadcast (vertex-cut recovery).
+
+    Replica activity flags may be stale after a rebirth — the
+    replacement worker's copies restart at forked-initial activity — so
+    every master marks its replicas stale and re-broadcasts on the next
+    phase 0 (the simulator's ``_refresh_broadcast_state`` analogue,
+    made total because survivors cannot know which flags the dead rank
+    lost).
+    """
+    for slot in lg.iter_masters():
+        slot.replicas_known_active = not slot.active
+        pending_broadcast.add(slot.gid)
+
+
+def _extract_records(lg, dead: tuple[int, ...]) -> tuple[list, list]:
+    """Survivor-side replication-state scan for the dead ranks.
+
+    Returns ``(master_records, replica_records)``:
+
+    * master records — this rank's replica/mirror copies of vertices
+      mastered on a dead rank, ``(gid, master_node, value,
+      last_activates, last_update_iter, mirror_self_active, is_mirror)``;
+    * replica records — this rank's own masters that keep copies on a
+      dead rank, ``(gid, value, last_activates, last_update_iter,
+      self_active, active, dead_targets)``.
+    """
+    dead_set = set(dead)
+    masters: list = []
+    replicas: list = []
+    for slot in lg.iter_slots():
+        if slot.is_master:
+            targets = tuple(node for node, _m in slot.meta.sync_targets()
+                            if node in dead_set)
+            if targets:
+                replicas.append((slot.gid, slot.value, slot.last_activates,
+                                 slot.last_update_iter,
+                                 slot.mirror_self_active, slot.active,
+                                 targets))
+        elif slot.master_node in dead_set:
+            masters.append((slot.gid, slot.master_node, slot.value,
+                            slot.last_activates, slot.last_update_iter,
+                            slot.mirror_self_active, slot.is_mirror))
+    return masters, replicas
+
+
+def _apply_reseed(lg, masters, replicas, activate_gids) -> None:
+    """Replacement-worker state seeding from survivor records.
+
+    Masters take the surviving copy's committed value and are
+    conservatively reactivated (every dead-rank master recomputes once;
+    safe because ``apply`` is a pure function of neighbor state, and
+    exact whenever the vertex was in fact active at the kill point).
+    The replacement's replica copies take their owners' current
+    committed values — the local gathers of the next superstep read
+    them directly.
+    """
+    for gid, _master_node, value, la, lui, msa, is_mirror in masters:
+        slot = lg.slot_of(gid)
+        slot.value = value
+        slot.last_activates = la
+        slot.last_update_iter = lui
+        # Plain replicas never saw the master's self-active flag; assume
+        # active, consistent with the conservative reactivation below.
+        slot.mirror_self_active = msa if is_mirror else True
+    for gid, value, la, lui, self_active, active, _targets in replicas:
+        slot = lg.slot_of(gid)
+        slot.value = value
+        slot.last_activates = la
+        slot.last_update_iter = lui
+        slot.mirror_self_active = self_active
+        lg.set_active(slot, active)
+    for gid in activate_gids:
+        lg.set_active(lg.slot_of(gid), True)
+
+
+def _worker_main(rank: int, conn, close_conns, engine) -> None:
+    """Worker process main loop: one partition, frame-driven rounds."""
+    for other in close_conns:
+        try:
+            other.close()
+        except OSError:
+            pass
+    # A worker must never outlive an abruptly-gone coordinator; pipes
+    # raise EOFError on recv once the parent closes, which exits below.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+    lg = engine.local_graphs[rank]
+    proto = NodeProtocol(engine.program, engine.is_edge_cut,
+                         sync_elision=engine._sync_elision,
+                         selfish_opt=engine.selfish_opt_active)
+    num_vertices = engine.graph.num_vertices
+    num_edges = engine.graph.num_edges
+    dirty: dict[int, Any] = {}
+    partials: dict[int, list] = {}
+    pending_broadcast: set[int] = set()
+
+    def ctx(iteration: int) -> ApplyContext:
+        return ApplyContext(iteration=iteration, num_vertices=num_vertices,
+                            num_edges=num_edges)
+
+    def encode_outbox(outbox: dict) -> list:
+        return [(dst, kind.value, encode_batch(batch))
+                for (dst, kind), batch in outbox.items()]
+
+    while True:
+        try:
+            frame = conn.recv()
+        except (EOFError, OSError):
+            return
+        tag = frame[0]
+        if tag == "compute":
+            it = frame[1]
+            dirty = {}
+            outbox: dict = {}
+            edges, vertices, elided = proto.edge_cut_compute_node(
+                lg, ctx(it), outbox, dirty)
+            conn.send(("computed", it, encode_outbox(outbox),
+                       edges, vertices, elided))
+        elif tag == "vc0":
+            it = frame[1]
+            dirty = {}
+            partials = {}
+            outbox = proto.broadcast_build(lg, pending_broadcast)
+            pending_broadcast = set()
+            conn.send(("vc0_done", it, encode_outbox(outbox)))
+        elif tag == "vc1":
+            it = frame[1]
+            for _src, enc in frame[2]:
+                proto.broadcast_apply(lg, decode_batch(enc))
+            outbox = {}
+            local: list = []
+            edges = proto.vertex_gather(lg, ctx(it), outbox, local)
+            for gid, acc in local:
+                partials.setdefault(gid, []).append((rank, acc))
+            conn.send(("vc1_done", it, encode_outbox(outbox), edges))
+        elif tag == "vc2":
+            it = frame[1]
+            for src, enc in frame[2]:
+                batch = decode_batch(enc)
+                for gid, acc in zip(batch.gids, batch.accs):
+                    partials.setdefault(gid, []).append((src, acc))
+            outbox = {}
+            vertices, elided = proto.master_fold_apply(
+                lg, partials, ctx(it), outbox, dirty)
+            conn.send(("vc2_done", it, encode_outbox(outbox),
+                       vertices, elided))
+        elif tag == "commit":
+            it = frame[1]
+            for _src, enc in frame[2]:
+                proto.apply_sync_batch(lg, decode_batch(enc), dirty)
+            signals = proto.commit_stage1(lg, dirty, it)
+            by_dst: dict[int, ActivateBatch] = {}
+            for dst, gid in sorted(set(signals)):
+                batch = by_dst.get(dst)
+                if batch is None:
+                    batch = by_dst[dst] = ActivateBatch()
+                batch.append(gid)
+            conn.send(("staged", it,
+                       [(dst, encode_batch(b)) for dst, b in by_dst.items()]))
+        elif tag == "commit2":
+            it = frame[1]
+            for _src, enc in frame[2]:
+                proto.apply_activations(lg, decode_batch(enc).gids, dirty)
+            stale = proto.finalize_commit(lg, dirty)
+            pending_broadcast.update(stale)
+            dirty = {}
+            conn.send(("committed", it, len(lg.active_masters)))
+        elif tag == "abort":
+            for slot in dirty.values():
+                slot.clear_pending()
+            dirty = {}
+            partials = {}
+            conn.send(("aborted", frame[1]))
+        elif tag == "extract":
+            masters, replicas = _extract_records(lg, frame[1])
+            conn.send(("extracted", masters, replicas))
+        elif tag == "reseed":
+            _, masters, replicas, activate_gids, force = frame
+            _apply_reseed(lg, masters, replicas, activate_gids)
+            if force:
+                _force_rebroadcast(lg, pending_broadcast)
+            conn.send(("reseeded",))
+        elif tag == "recovered":
+            if frame[1]:
+                _force_rebroadcast(lg, pending_broadcast)
+            conn.send(("recovered_ack",))
+        elif tag == "values":
+            conn.send(("values_done",
+                       {slot.gid: slot.value for slot in lg.iter_masters()}))
+        elif tag == "shutdown":
+            return
+        else:  # pragma: no cover - protocol bug guard
+            conn.send(("error", f"unknown frame tag {tag!r}"))
+            return
+
+
+# ---------------------------------------------------------------------------
+# Coordinator side
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Worker:
+    proc: Any
+    conn: Any
+
+
+class _TrafficBook:
+    """Simulator-unit traffic accounting over routed encoded batches."""
+
+    def __init__(self) -> None:
+        self.total_msgs = 0
+        self.total_bytes = 0
+        self.total_batches = 0
+        self.by_kind: dict[str, int] = defaultdict(int)
+
+    def count(self, kind: str, enc: tuple) -> None:
+        records = encoded_records(enc)
+        self.total_msgs += records
+        self.total_bytes += encoded_nbytes(enc) + BYTES_PER_MSG_HEADER
+        self.total_batches += 1
+        self.by_kind[kind] += records
+
+
+class MultiprocessingBackend(ExecutionBackend):
+    """Real-process backend: one forked worker per cluster node."""
+
+    name = "multiprocessing"
+
+    def __init__(self, heartbeat_s: float = 0.2,
+                 heartbeat_misses: int = 150):
+        self.heartbeat_s = heartbeat_s
+        self.heartbeat_misses = heartbeat_misses
+        self._ctx = None
+        self._workers: dict[int, _Worker] = {}
+        self._engine = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def _spawn_worker(self, rank: int) -> None:
+        parent_end, child_end = self._ctx.Pipe(duplex=True)
+        close_conns = [w.conn for w in self._workers.values()]
+        close_conns.append(parent_end)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(rank, child_end, close_conns, self._engine),
+            name=f"repro-worker-{rank}",
+            daemon=True)
+        proc.start()
+        # The parent's copy of the child end must close so worker death
+        # leaves no stray write end holding the pipe open.
+        child_end.close()
+        self._workers[rank] = _Worker(proc=proc, conn=parent_end)
+
+    def close(self) -> None:
+        """Reap every worker — also on failure paths (tests must never
+        leak child processes): cooperative shutdown, then terminate,
+        then kill."""
+        for worker in self._workers.values():
+            if worker.proc.is_alive():
+                try:
+                    worker.conn.send(("shutdown",))
+                except (BrokenPipeError, OSError):
+                    pass
+        for worker in self._workers.values():
+            worker.proc.join(timeout=2.0)
+            if worker.proc.is_alive():
+                worker.proc.terminate()
+                worker.proc.join(timeout=1.0)
+            if worker.proc.is_alive():  # pragma: no cover - last resort
+                worker.proc.kill()
+                worker.proc.join()
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        self._workers.clear()
+
+    # -- frame plumbing --------------------------------------------------
+
+    def _send(self, rank: int, frame: tuple) -> None:
+        try:
+            self._workers[rank].conn.send(frame)
+        except (BrokenPipeError, OSError) as exc:
+            raise _WorkerDeath({rank}) from exc
+
+    def _collect(self, tag: str, iteration: int | None,
+                 ranks) -> dict[int, tuple]:
+        """Gather one ``tag`` frame per rank; sentinel-aware.
+
+        The heartbeat loop waits on worker pipes *and* process
+        sentinels: a ``SIGKILL`` surfaces as a ready sentinel within one
+        heartbeat interval, and ``heartbeat_misses`` consecutive silent
+        intervals mean a wedged worker (raised as :class:`BackendError`
+        — a hang is not a crash and gets no recovery).  Frames not
+        matching ``(tag, iteration)`` are stale pre-abort output and
+        are discarded.
+        """
+        from multiprocessing.connection import wait as mpc_wait
+
+        out: dict[int, tuple] = {}
+        pending = set(ranks)
+        misses = 0
+        while pending:
+            conns = {self._workers[r].conn: r for r in pending}
+            sentinels = {self._workers[r].proc.sentinel: r for r in pending}
+            ready = mpc_wait(list(conns) + list(sentinels),
+                             timeout=self.heartbeat_s)
+            if not ready:
+                misses += 1
+                if misses >= self.heartbeat_misses:
+                    raise BackendError(
+                        f"workers {sorted(pending)} sent no frame for "
+                        f"{misses * self.heartbeat_s:.1f}s awaiting "
+                        f"{tag!r} — wedged")
+                continue
+            misses = 0
+            dead = {sentinels[obj] for obj in ready if obj in sentinels}
+            if dead:
+                raise _WorkerDeath(dead)
+            for obj in ready:
+                rank = conns[obj]
+                conn = self._workers[rank].conn
+                while rank in pending and conn.poll(0):
+                    try:
+                        frame = conn.recv()
+                    except (EOFError, OSError) as exc:
+                        raise _WorkerDeath({rank}) from exc
+                    if frame[0] == tag and (iteration is None
+                                            or frame[1] == iteration):
+                        out[rank] = frame
+                        pending.discard(rank)
+        return out
+
+    def _route(self, collected: dict[int, tuple],
+               book: _TrafficBook) -> dict[int, list]:
+        """Fan collected outbox batches out to per-destination frame
+        lists, booking each batch in simulator units."""
+        frames: dict[int, list] = {r: [] for r in self._workers}
+        for src in sorted(collected):
+            for dst, kind, enc in collected[src][2]:
+                book.count(kind, enc)
+                frames[dst].append((src, enc))
+        return frames
+
+    # -- chaos -----------------------------------------------------------
+
+    def _kill(self, ranks) -> set[int]:
+        """Deliver real SIGKILLs and wait until every target is dead, so
+        detection is deterministic at the next collect."""
+        killed = set()
+        for rank in ranks:
+            worker = self._workers.get(rank)
+            if worker is None or not worker.proc.is_alive():
+                continue
+            os.kill(worker.proc.pid, signal.SIGKILL)
+            killed.add(rank)
+        deadline = time.monotonic() + 10.0
+        for rank in killed:
+            proc = self._workers[rank].proc
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():  # pragma: no cover - SIGKILL cannot fail
+                raise BackendError(f"worker {rank} survived SIGKILL")
+        return killed
+
+    # -- recovery --------------------------------------------------------
+
+    def _abort_survivors(self, iteration: int, survivors) -> None:
+        """Discard the aborted iteration's staged state everywhere; the
+        per-sender-FIFO ack drain also flushes stale pre-abort frames."""
+        for rank in survivors:
+            self._send(rank, ("abort", iteration))
+        for rank in survivors:
+            conn = self._workers[rank].conn
+            deadline = time.monotonic() + self.heartbeat_s * \
+                self.heartbeat_misses
+            while True:
+                if not conn.poll(timeout=0.2):
+                    if time.monotonic() > deadline:
+                        raise BackendError(
+                            f"worker {rank} never acked abort")
+                    continue
+                try:
+                    frame = conn.recv()
+                except (EOFError, OSError) as exc:
+                    raise BackendError(
+                        f"worker {rank} died during abort") from exc
+                if frame == ("aborted", iteration):
+                    break
+
+    def _recover(self, dead: set[int], iteration: int, spec: BackendSpec,
+                 mid_iteration: bool) -> None:
+        """The rebirth rung over real processes.
+
+        Reap the corpses, abort the in-flight iteration on survivors
+        (if any), fork replacements from the pristine parent engine,
+        reseed them from survivor replication state, and force the
+        vertex-cut activity re-broadcast.
+        """
+        dead_sorted = sorted(dead)
+        survivors = sorted(set(self._workers) - dead)
+        for rank in dead_sorted:
+            worker = self._workers.pop(rank)
+            worker.proc.join(timeout=1.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        if spec.ft_mode != "replication" or spec.ft_level < 1:
+            raise UnrecoverableFailureError(
+                f"workers {dead_sorted} killed with no replication to "
+                f"recover from (ft_mode={spec.ft_mode}, "
+                f"ft_level={spec.ft_level})",
+                rungs_attempted=(), surviving_nodes=tuple(survivors))
+        if len(dead_sorted) > self._standby_left:
+            raise UnrecoverableFailureError(
+                f"standby pool exhausted: {len(dead_sorted)} dead, "
+                f"{self._standby_left} standby forks left",
+                rungs_attempted=("rebirth",),
+                surviving_nodes=tuple(survivors))
+        self._standby_left -= len(dead_sorted)
+        if mid_iteration:
+            self._abort_survivors(iteration, survivors)
+        for rank in dead_sorted:
+            self._spawn_worker(rank)
+
+        for rank in survivors:
+            self._send(rank, ("extract", tuple(dead_sorted)))
+        extracted = self._collect("extracted", None, survivors)
+
+        # Merge survivor snapshots: mirrors lead (full-state copies),
+        # the lowest surviving rank breaks ties.
+        best: dict[int, tuple[tuple, bool, int]] = {}
+        replicas_by_rank: dict[int, list] = {r: [] for r in dead_sorted}
+        for src in sorted(extracted):
+            _tag, masters, replicas = extracted[src]
+            for rec in masters:
+                gid, is_mirror = rec[0], rec[6]
+                cur = best.get(gid)
+                if cur is None or (is_mirror and not cur[1]):
+                    best[gid] = (rec, is_mirror, src)
+            for rec in replicas:
+                for dst in rec[6]:
+                    replicas_by_rank[dst].append(rec)
+        masters_by_rank: dict[int, list] = {r: [] for r in dead_sorted}
+        for rec, _is_mirror, _src in best.values():
+            masters_by_rank[rec[1]].append(rec)
+
+        # Simultaneous multi-rank death: replacement A also hosts
+        # replica copies of replacement B's masters, and no survivor
+        # owns those — forward the merged survivor snapshots as replica
+        # records between the reborn ranks (conservatively active; the
+        # forced phase-0 re-broadcast trues the flags up under
+        # vertex-cut before the next gather reads them).
+        for rank in dead_sorted:
+            for other in dead_sorted:
+                if other == rank:
+                    continue
+                lg = self._engine.local_graphs[other]
+                for slot in lg.iter_masters():
+                    if slot.gid not in best:
+                        continue
+                    targets = {node for node, _m
+                               in slot.meta.sync_targets()}
+                    if rank not in targets:
+                        continue
+                    rec, is_mirror, _src = best[slot.gid]
+                    _gid, _mn, value, la, lui, msa, _m = rec
+                    replicas_by_rank[rank].append(
+                        (slot.gid, value, la, lui,
+                         msa if is_mirror else True, True, (rank,)))
+
+        force = not self._engine.is_edge_cut
+        for rank in dead_sorted:
+            expected = [slot.gid for slot
+                        in self._engine.local_graphs[rank].iter_masters()]
+            lost = [gid for gid in expected
+                    if gid not in best]
+            if lost:
+                raise UnrecoverableFailureError(
+                    f"{len(lost)} vertices mastered on rank {rank} have "
+                    f"no surviving replica", lost_vertices=len(lost),
+                    rungs_attempted=("rebirth",),
+                    surviving_nodes=tuple(survivors))
+            self._send(rank, ("reseed", sorted(masters_by_rank[rank]),
+                              sorted(replicas_by_rank[rank]),
+                              expected, force))
+        self._collect("reseeded", None, dead_sorted)
+        for rank in survivors:
+            self._send(rank, ("recovered", force))
+        self._collect("recovered_ack", None, survivors)
+        self._rebirths += len(dead_sorted)
+
+    # -- the run loop ----------------------------------------------------
+
+    def _validate(self, spec: BackendSpec, program) -> None:
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise BackendError(
+                "multiprocessing backend needs the fork start method")
+        if program.mutates_edges:
+            raise BackendError(
+                "edge-mutating programs are not supported on the "
+                "multiprocessing backend")
+        if spec.ft_mode not in ("none", "replication"):
+            raise BackendError(
+                f"ft_mode {spec.ft_mode!r} is not supported on the "
+                f"multiprocessing backend")
+        if spec.recovery != "rebirth":
+            raise BackendError(
+                "the multiprocessing backend recovers by rebirth only")
+        if not spec.batch_syncs:
+            raise BackendError(
+                "the multiprocessing backend always batches syncs "
+                "(the wire format is the batch)")
+        for iteration, _ranks, phase in spec.failures:
+            if phase not in ("compute", "after_commit"):
+                raise BackendError(
+                    f"unsupported failure phase {phase!r}")
+            if iteration >= spec.max_iterations:
+                raise BackendError(
+                    f"failure scheduled at iteration {iteration} beyond "
+                    f"max_iterations {spec.max_iterations}")
+
+    def run(self, graph, spec: BackendSpec) -> BackendRunResult:
+        import multiprocessing
+
+        # The parent engine is the state template: partitioned,
+        # replicated and value-initialised in __init__, never run.
+        # Workers fork from it, so every rank starts bit-identical to
+        # the simulator's; scalar workers make parent-side vectorized
+        # state irrelevant, so it is not built at all.
+        kwargs = spec.engine_kwargs()
+        kwargs["vectorized"] = False
+        engine = make_engine(graph, **kwargs)
+        self._validate(spec, engine.program)
+        self._ctx = multiprocessing.get_context("fork")
+        self._engine = engine
+        self._standby_left = spec.num_standby
+        self._rebirths = 0
+        kills_pending = {"compute": defaultdict(set),
+                         "after_commit": defaultdict(set)}
+        for iteration, ranks, phase in spec.failures:
+            kills_pending[phase][iteration].update(ranks)
+
+        book = _TrafficBook()
+        elided_total = 0
+        completed = 0
+        halted = False
+        start = time.perf_counter()
+        try:
+            for rank in sorted(engine.local_graphs):
+                self._spawn_worker(rank)
+            while completed < spec.max_iterations:
+                it = completed
+                try:
+                    active_total, elided = self._iterate(
+                        it, book, kills_pending["compute"].pop(it, set()))
+                except _WorkerDeath as death:
+                    self._recover(death.ranks, it, spec,
+                                  mid_iteration=True)
+                    continue  # redo the aborted iteration
+                elided_total += elided
+                completed += 1
+                if active_total == 0:
+                    halted = True
+                    break
+                late = kills_pending["after_commit"].pop(it, set())
+                if late:
+                    dead = self._kill(late)
+                    if dead:
+                        self._recover(dead, it, spec, mid_iteration=False)
+            wall_s = time.perf_counter() - start
+            values = self._collect_values()
+        finally:
+            self.close()
+            self._engine = None
+        return BackendRunResult(
+            backend=self.name,
+            values=values,
+            iterations=completed,
+            total_msgs=book.total_msgs,
+            total_bytes=book.total_bytes,
+            total_batches=book.total_batches,
+            msgs_by_kind=dict(book.by_kind),
+            syncs_elided=elided_total,
+            wall_s=wall_s,
+            halted=halted,
+            failures_recovered=self._rebirths,
+            extra={"workers": len(engine.local_graphs),
+                   "rebirths": self._rebirths,
+                   "standby_left": self._standby_left})
+
+    def _iterate(self, it: int, book: _TrafficBook,
+                 kill_now: set[int]) -> tuple[int, int]:
+        """One full superstep across the workers; returns
+        ``(active_masters_after, syncs_elided)``."""
+        alive = sorted(self._workers)
+        if self._engine.is_edge_cut:
+            for rank in alive:
+                self._send(rank, ("compute", it))
+            if kill_now:
+                dead = self._kill(kill_now)
+                if dead:
+                    raise _WorkerDeath(dead)
+            computed = self._collect("computed", it, alive)
+            sync_frames = self._route(computed, book)
+            elided = sum(frame[5] for frame in computed.values())
+        else:
+            for rank in alive:
+                self._send(rank, ("vc0", it))
+            if kill_now:
+                dead = self._kill(kill_now)
+                if dead:
+                    raise _WorkerDeath(dead)
+            vc0 = self._collect("vc0_done", it, alive)
+            ctrl_frames = self._route(vc0, book)
+            for rank in alive:
+                self._send(rank, ("vc1", it, ctrl_frames[rank]))
+            vc1 = self._collect("vc1_done", it, alive)
+            gather_frames = self._route(vc1, book)
+            for rank in alive:
+                self._send(rank, ("vc2", it, gather_frames[rank]))
+            vc2 = self._collect("vc2_done", it, alive)
+            sync_frames = self._route(vc2, book)
+            elided = sum(frame[4] for frame in vc2.values())
+
+        # Commit rounds.  An unscheduled death past this point would
+        # leave a half-committed superstep; the scheduled chaos phases
+        # never kill here, so it is a hard error, not a recovery case.
+        try:
+            for rank in alive:
+                self._send(rank, ("commit", it, sync_frames[rank]))
+            staged = self._collect("staged", it, alive)
+            act_frames: dict[int, list] = {r: [] for r in alive}
+            for src in sorted(staged):
+                for dst, enc in staged[src][2]:
+                    book.count("activate", enc)
+                    act_frames[dst].append((src, enc))
+            for rank in alive:
+                self._send(rank, ("commit2", it, act_frames[rank]))
+            committed = self._collect("committed", it, alive)
+        except _WorkerDeath as death:
+            raise BackendError(
+                f"workers {sorted(death.ranks)} died inside the commit "
+                f"rounds of iteration {it}; the multiprocessing backend "
+                f"only recovers failures at protocol-safe points"
+            ) from death
+        return sum(frame[2] for frame in committed.values()), elided
+
+    def _collect_values(self) -> dict[int, Any]:
+        alive = sorted(self._workers)
+        for rank in alive:
+            self._send(rank, ("values",))
+        frames = self._collect("values_done", None, alive)
+        values: dict[int, Any] = {}
+        for rank in alive:
+            values.update(frames[rank][1])
+        return values

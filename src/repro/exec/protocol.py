@@ -1,0 +1,350 @@
+"""Backend-agnostic per-node superstep protocol (DESIGN.md §12).
+
+Extracted from ``Engine`` so the same scalar compute/sync/commit code
+drives both execution backends:
+
+* the deterministic in-process simulator — ``Engine``'s scalar paths
+  delegate here (the vectorized executor stays bit-equal to this code
+  by the PR-5 differential suite), and
+* the multiprocessing backend (:mod:`repro.exec.mp`), where each
+  worker process owns one partition's :class:`LocalGraph` and runs
+  exactly this code between pipe exchanges.
+
+Equality of committed values and logical-message counts across
+backends is therefore structural: both run the same per-node code over
+the same per-node state in the same deterministic order; only the
+transport underneath differs.
+
+The protocol is written against plain data structures — a
+:class:`LocalGraph`, an ``outbox`` dict keyed ``(dst_node, kind)``
+accumulating columnar batches, and a ``dirty`` map of staged slots —
+and never touches a network, cluster, tracer, or clock.  Everything
+scheduling-related (which nodes run, when batches flush, where chaos
+hooks fire, how time is charged) stays with the backend.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cluster.network import MessageKind
+from repro.engine.messages import (ActiveBroadcastBatch, GatherBatch,
+                                   MirrorSyncPayload, SyncBatch)
+
+
+class NodeProtocol:
+    """The scalar superstep protocol of one partition (both modes).
+
+    Stateless across supersteps apart from three policy knobs; one
+    instance can serve every partition of a backend.  ``selfish_opt``
+    is re-evaluated by the engine each superstep (it depends on the
+    program and FT config, both fixed per job, but mirroring the
+    engine's per-superstep read keeps the delegation exact).
+    """
+
+    def __init__(self, program, is_edge_cut: bool,
+                 sync_elision: bool = True,
+                 selfish_opt: bool = False):
+        self.program = program
+        self.is_edge_cut = is_edge_cut
+        self.sync_elision = sync_elision
+        self.selfish_opt = selfish_opt
+
+    # -- gather + apply -------------------------------------------------
+
+    def gather_edges(self, lg, slot, ctx,
+                     mutation_log: dict | None = None) -> tuple[Any, tuple]:
+        """Fold a slot's local in-edges; collect staged edge mutations.
+
+        ``mutation_log`` (node -> [(slot, [(idx, new_w)])]) receives the
+        staged updates for edge-mutating programs; the backend commits
+        them at its barrier.
+        """
+        program = self.program
+        acc = program.gather_init()
+        if not program.mutates_edges:
+            for src_pos, weight in slot.in_edges:
+                acc = program.gather(acc, lg.view(src_pos), weight,
+                                     slot.gid)
+            return acc, ()
+        updates = []
+        for idx, (src_pos, weight) in enumerate(slot.in_edges):
+            view = lg.view(src_pos)
+            acc = program.gather(acc, view, weight, slot.gid)
+            new_weight = program.update_edge(view, slot.gid, weight, ctx)
+            if new_weight is not None and new_weight != weight:
+                updates.append((idx, new_weight))
+        if updates and mutation_log is not None:
+            mutation_log[lg.node_id].append((slot, updates))
+        return acc, tuple(updates)
+
+    def compute_master(self, lg, slot, acc, ctx, outbox: dict,
+                       dirty: dict, edge_updates: tuple = ()) -> int:
+        """Apply + stage + sync one master's update; returns the number
+        of sync records elided."""
+        program = self.program
+        new_value = program.apply(slot.gid, slot.value, acc, ctx)
+        activates = program.activates_neighbors(
+            slot.gid, slot.value, new_value, ctx)
+        self_active = program.stays_active(
+            slot.gid, slot.value, new_value, ctx)
+        slot.pending_value = new_value
+        slot.has_pending = True
+        slot.pending_activates = activates
+        slot.pending_active = self_active
+        dirty[slot.gid] = slot
+        return self.build_syncs(slot, new_value, activates, self_active,
+                                outbox, edge_updates)
+
+    def build_syncs(self, slot, new_value, activates: bool,
+                    self_active: bool, outbox: dict,
+                    edge_updates: tuple = ()) -> int:
+        """Master -> replica/mirror synchronisation records.
+
+        Records accumulate into the sending node's per-(dst, kind)
+        columnar outbox, flushed once per node per superstep by the
+        backend.  A master whose committed update is a non-activating
+        no-op elides its records: replicas already hold the value, and
+        because the previous commit also did not activate
+        (``last_activates`` is clear) recovery replay has nothing to
+        lose from the skipped ``last_update_iter`` stamp (DESIGN.md
+        §10).  Returns the number of records elided.
+        """
+        if slot.selfish and self.selfish_opt:
+            # Selfish optimisation (Section 4.4): no consumers, no sync;
+            # recovery recomputes the dynamic state.
+            return 0
+        elided = 0
+        mirror_updates = edge_updates if self.is_edge_cut else ()
+        if self.sync_elision:
+            noop = (not activates and not slot.last_activates
+                    and new_value == slot.value)
+            plain_elide = noop
+            mirror_elide = (noop and not mirror_updates
+                            and self_active == slot.mirror_self_active)
+        else:
+            plain_elide = mirror_elide = False
+        value_nbytes = self.program.value_nbytes(new_value)
+        for replica_node, is_mirror in slot.meta.sync_targets():
+            if is_mirror:
+                if mirror_elide:
+                    elided += 1
+                    continue
+                key = (replica_node, MessageKind.MIRROR_SYNC)
+                batch = outbox.get(key)
+                if batch is None:
+                    batch = outbox[key] = SyncBatch(full_state=True)
+                batch.append(slot.gid, new_value, value_nbytes, activates,
+                             self_active, mirror_updates)
+            else:
+                if plain_elide:
+                    elided += 1
+                    continue
+                key = (replica_node, MessageKind.SYNC)
+                batch = outbox.get(key)
+                if batch is None:
+                    batch = outbox[key] = SyncBatch()
+                batch.append(slot.gid, new_value, value_nbytes, activates)
+        return elided
+
+    # -- per-node compute phases ----------------------------------------
+
+    def edge_cut_compute_node(self, lg, ctx, outbox: dict, dirty: dict,
+                              mutation_log: dict | None = None
+                              ) -> tuple[int, int, int]:
+        """One node's edge-cut superstep: gather + apply + stage syncs.
+
+        Returns ``(edges_folded, vertices_computed, syncs_elided)``.
+        """
+        program = self.program
+        edges = 0
+        vertices = 0
+        elided = 0
+        for gid in lg.active_masters_snapshot():
+            slot = lg.slot_of(gid)
+            if not program.participates(gid, ctx):
+                continue
+            acc, updates = self.gather_edges(lg, slot, ctx, mutation_log)
+            edges += len(slot.in_edges)
+            vertices += 1
+            elided += self.compute_master(lg, slot, acc, ctx, outbox,
+                                          dirty, updates)
+        return edges, vertices, elided
+
+    def vertex_gather(self, lg, ctx, outbox: dict, partials_out: list,
+                      mutation_log: dict | None = None) -> int:
+        """One node's vertex-cut gather phase (phase 1).
+
+        Local partials append to ``partials_out`` as ``(gid, acc)``;
+        remote partials accumulate into per-master ``GatherBatch``
+        outbox entries.  Returns the number of edges folded.
+        """
+        program = self.program
+        node = lg.node_id
+        edges = 0
+        for gid in (lg.active_masters_snapshot()
+                    + lg.active_others_snapshot()):
+            slot = lg.slot_of(gid)
+            if not slot.in_edges:
+                continue
+            if not program.participates(gid, ctx):
+                continue
+            acc, _updates = self.gather_edges(lg, slot, ctx, mutation_log)
+            edges += len(slot.in_edges)
+            master_node = node if slot.is_master else slot.master_node
+            if master_node == node:
+                partials_out.append((gid, acc))
+            else:
+                key = (master_node, MessageKind.GATHER)
+                batch = outbox.get(key)
+                if batch is None:
+                    batch = outbox[key] = GatherBatch()
+                batch.append(gid, acc, program.acc_nbytes(acc))
+        return edges
+
+    def master_fold_apply(self, lg, partials: dict, ctx, outbox: dict,
+                          dirty: dict) -> tuple[int, int]:
+        """One node's vertex-cut apply phase (phase 2).
+
+        ``partials`` maps gid -> [(sender_node, acc)]; folds run in
+        sender-node order for determinism.  Returns
+        ``(vertices_computed, syncs_elided)``.
+        """
+        program = self.program
+        vertices = 0
+        elided = 0
+        for gid in lg.active_masters_snapshot():
+            slot = lg.slot_of(gid)
+            if not program.participates(gid, ctx):
+                continue
+            acc = program.gather_init()
+            for _, part in sorted(partials.get(gid, ()),
+                                  key=lambda item: item[0]):
+                acc = program.gather_sum(acc, part)
+            vertices += 1
+            elided += self.compute_master(lg, slot, acc, ctx, outbox,
+                                          dirty)
+        return vertices, elided
+
+    # -- vertex-cut activity broadcast (phase 0) ------------------------
+
+    def broadcast_build(self, lg, pending) -> dict:
+        """Masters whose activity changed since replicas last heard
+        build the flag-broadcast outbox; clears ``replicas_known_active``
+        drift for the gids shipped."""
+        outbox: dict = {}
+        for gid in sorted(pending):
+            if gid not in lg.index_of:
+                continue
+            slot = lg.slot_of(gid)
+            if not slot.is_master \
+                    or slot.replicas_known_active == slot.active:
+                continue
+            for replica_node, _is_mirror in slot.meta.sync_targets():
+                key = (replica_node, MessageKind.CONTROL)
+                batch = outbox.get(key)
+                if batch is None:
+                    batch = outbox[key] = ActiveBroadcastBatch()
+                batch.append(gid, slot.active)
+            slot.replicas_known_active = slot.active
+        return outbox
+
+    def broadcast_apply(self, lg, batch) -> None:
+        for gid, active in zip(batch.gids, batch.actives):
+            lg.set_active(lg.slot_of(gid), active)
+
+    # -- sync application -----------------------------------------------
+
+    def apply_sync_batch(self, lg, batch, dirty: dict) -> None:
+        """Stage every record of one received sync batch."""
+        full = batch.full_state
+        for i, gid in enumerate(batch.gids):
+            slot = lg.slot_of(gid)
+            slot.pending_value = batch.values[i]
+            slot.has_pending = True
+            slot.pending_activates = batch.activates(i)
+            if full:
+                slot.pending_active = batch.self_active(i)
+                updates = batch.edge_updates[i]
+                if updates and slot.full_edges is not None:
+                    for idx, weight in updates:
+                        gid0, pos, _old = slot.full_edges[idx]
+                        slot.full_edges[idx] = (gid0, pos, weight)
+            dirty[gid] = slot
+
+    def apply_scalar_sync(self, lg, payload, dirty: dict) -> None:
+        """Stage one legacy scalar sync payload (recovery paths, tests)."""
+        slot = lg.slot_of(payload.gid)
+        slot.pending_value = payload.value
+        slot.has_pending = True
+        slot.pending_activates = payload.activates
+        if isinstance(payload, MirrorSyncPayload):
+            slot.pending_active = payload.self_active
+            if payload.edge_updates and slot.full_edges is not None:
+                for idx, weight in payload.edge_updates:
+                    gid0, pos, _old = slot.full_edges[idx]
+                    slot.full_edges[idx] = (gid0, pos, weight)
+        dirty[payload.gid] = slot
+
+    # -- barrier commit --------------------------------------------------
+
+    def commit_stage1(self, lg, dirty: dict,
+                      iteration: int) -> list[tuple[int, int]]:
+        """Commit pending values and scatter local activations.
+
+        Returns the remote activation signals this node must send, as
+        ``(dst_master_node, gid)`` pairs (possibly with duplicates;
+        the backend dedups globally, matching the engine's signal set).
+        """
+        signals: list[tuple[int, int]] = []
+        # Snapshot: activation marking adds targets to the dirty map.
+        for slot in list(dirty.values()):
+            if not slot.has_pending:
+                continue
+            slot.value = slot.pending_value
+            slot.last_activates = slot.pending_activates
+            slot.last_update_iter = iteration
+            if slot.pending_activates:
+                for dst_pos in slot.out_edges:
+                    target = lg.slots[dst_pos]
+                    if target is None:
+                        continue
+                    if target.is_master:
+                        target.next_active = True
+                        dirty[target.gid] = target
+                    else:
+                        signals.append((target.master_node, target.gid))
+        return signals
+
+    def apply_activations(self, lg, gids, dirty: dict) -> None:
+        """Mark remote activation signals received for local masters."""
+        for gid in gids:
+            slot = lg.slot_of(gid)
+            slot.next_active = True
+            dirty[gid] = slot
+
+    def finalize_commit(self, lg, dirty: dict) -> list[int]:
+        """Finalise active flags for the touched slots.
+
+        Returns the master gids whose activity now differs from what
+        their replicas believe (vertex-cut broadcast backlog; always
+        empty under edge-cut).
+        """
+        stale: list[int] = []
+        for slot in dirty.values():
+            if slot.is_master:
+                self_part = slot.has_pending and slot.pending_active
+                if slot.has_pending:
+                    # Track the self-active flag the mirrors just
+                    # received, so recovery can rebuild them.
+                    slot.mirror_self_active = slot.pending_active
+                lg.set_active(slot, bool(self_part or slot.next_active))
+                if (not self.is_edge_cut
+                        and slot.active != slot.replicas_known_active):
+                    stale.append(slot.gid)
+            elif slot.is_mirror and slot.has_pending:
+                # Mirrors track the master's self-sustained activity;
+                # remote activations are replayed at recovery.
+                slot.mirror_self_active = slot.pending_active
+            slot.clear_pending()
+        return stale

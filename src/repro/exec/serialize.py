@@ -1,0 +1,106 @@
+"""Wire codec for the four columnar batch types (DESIGN.md §12).
+
+Batches cross process boundaries as plain tuples of primitive columns
+— no class identity on the wire — so the multiprocessing transport
+never depends on pickle reconstructing engine classes, and a decoded
+batch is rebuilt through the same ``from_columns`` adoption path the
+vectorized executor uses (byte accounting stays identical).
+
+The encoded form also exposes the two numbers the coordinator's
+traffic accounting needs (record count and payload bytes) without
+materialising the batch object.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.engine.messages import (
+    ActivateBatch,
+    ActiveBroadcastBatch,
+    GatherBatch,
+    SyncBatch,
+)
+
+TAG_SYNC = "sync"
+TAG_GATHER = "gather"
+TAG_ACTIVATE = "activate"
+TAG_BROADCAST = "broadcast"
+
+#: Encoded batch: (tag, payload_nbytes, record_count, *columns).
+_TAG = 0
+_NBYTES = 1
+_RECORDS = 2
+
+
+def encode_batch(batch: Any) -> tuple:
+    """Flatten one columnar batch into a primitive tuple."""
+    if isinstance(batch, SyncBatch):
+        return (
+            TAG_SYNC,
+            batch.nbytes(),
+            batch.record_count,
+            batch.full_state,
+            list(batch.gids),
+            list(batch.values),
+            list(batch.flags),
+            list(batch.sizes),
+            list(batch.edge_updates) if batch.full_state else None,
+        )
+    if isinstance(batch, GatherBatch):
+        return (
+            TAG_GATHER,
+            batch.nbytes(),
+            batch.record_count,
+            list(batch.gids),
+            list(batch.accs),
+            list(batch.sizes),
+        )
+    if isinstance(batch, ActivateBatch):
+        return (TAG_ACTIVATE, batch.nbytes(), batch.record_count, list(batch.gids))
+    if isinstance(batch, ActiveBroadcastBatch):
+        return (
+            TAG_BROADCAST,
+            batch.nbytes(),
+            batch.record_count,
+            list(batch.gids),
+            list(batch.actives),
+        )
+    raise TypeError(f"not a columnar batch: {type(batch).__name__}")
+
+
+def decode_batch(enc: tuple) -> Any:
+    """Rebuild the batch a tuple from :func:`encode_batch` describes."""
+    tag = enc[_TAG]
+    if tag == TAG_SYNC:
+        _, _, _, full_state, gids, values, flags, sizes, edge_updates = enc
+        return SyncBatch.from_columns(
+            gids,
+            values,
+            flags,
+            sizes,
+            full_state=full_state,
+            edge_updates=edge_updates,
+        )
+    if tag == TAG_GATHER:
+        _, _, _, gids, accs, sizes = enc
+        return GatherBatch.from_columns(gids, accs, sizes)
+    if tag == TAG_ACTIVATE:
+        return ActivateBatch(enc[3])
+    if tag == TAG_BROADCAST:
+        _, _, _, gids, actives = enc
+        batch = ActiveBroadcastBatch()
+        batch.gids = list(gids)
+        batch.actives = list(actives)
+        return batch
+    raise ValueError(f"unknown batch tag: {tag!r}")
+
+
+def encoded_nbytes(enc: tuple) -> int:
+    """Payload bytes of an encoded batch (header excluded)."""
+    return enc[_NBYTES]
+
+
+def encoded_records(enc: tuple) -> int:
+    """Logical records carried by an encoded batch."""
+    return enc[_RECORDS]

@@ -1,0 +1,51 @@
+"""The deterministic in-process simulator as an execution backend.
+
+A thin adapter: :class:`SimulatorBackend` builds the same ``Engine``
+the rest of the repo uses (tests, chaos, cost model — semantics
+unchanged) and repackages its outcome as a
+:class:`~repro.exec.base.BackendRunResult` for cross-backend
+comparison.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.api import make_engine
+from repro.exec.base import BackendRunResult, BackendSpec, ExecutionBackend
+
+
+class SimulatorBackend(ExecutionBackend):
+    """Runs a spec on the single-process simulator ``Engine``."""
+
+    name = "simulator"
+
+    def run(self, graph, spec: BackendSpec) -> BackendRunResult:
+        engine = make_engine(graph, **spec.engine_kwargs())
+        for iteration, ranks, phase in spec.failures:
+            engine.schedule_failure(iteration, list(ranks), phase)
+        start = time.perf_counter()
+        result = engine.run()
+        wall_s = time.perf_counter() - start
+        totals = engine.cluster.network.totals
+        return BackendRunResult(
+            backend=self.name,
+            values=result.values,
+            iterations=result.num_iterations,
+            total_msgs=totals.total_msgs,
+            total_bytes=totals.total_bytes,
+            total_batches=totals.total_batches,
+            msgs_by_kind={
+                kind.value: count
+                for kind, count in totals.msgs_by_kind.items()
+                if count
+            },
+            syncs_elided=engine.syncs_elided,
+            wall_s=wall_s,
+            halted=result.halted_early,
+            failures_recovered=len(result.recoveries),
+            extra={
+                "ft_level_current": result.ft_level_current,
+                "ft_degraded": result.ft_degraded,
+            },
+        )

@@ -55,7 +55,6 @@ class MigrationRecovery:
                 "every worker node crashed",
                 lost_vertices=len(engine.master_node_of),
                 rungs_attempted=("migration",))
-        last_commit = common.last_committed_iteration(engine)
 
         # ---------------- Reloading: promotion ----------------
         promotions: list[tuple[int, int]] = []  # (gid, new master node)
@@ -282,7 +281,7 @@ class MigrationRecovery:
         rv.mirror_id = -1
         rv.replica_positions = None
         rv.mirror_nodes = None
-        slot = common.place_recovered_vertex(
+        common.place_recovered_vertex(
             lg, rv, common.last_committed_iteration(engine))
         master_slot.meta.replica_positions[node] = position
         master_slot.meta.invalidate_replica_cache()

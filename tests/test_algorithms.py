@@ -4,14 +4,12 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.algorithms import (
     ALGORITHMS,
     AlternatingLeastSquares,
     CommunityDetection,
-    ConnectedComponents,
     PageRank,
     SingleSourceShortestPath,
 )

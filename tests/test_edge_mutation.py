@@ -12,7 +12,6 @@ import pytest
 
 from repro.api import make_engine
 from repro.engine.vertex_program import (
-    ApplyContext,
     VertexProgram,
     VertexView,
 )

@@ -1,0 +1,240 @@
+"""Multiprocessing backend: differential oracle + real-kill recovery.
+
+The cross-backend differential oracle runs the same ``BackendSpec`` on
+the deterministic simulator and on real forked worker processes and
+asserts *bit-identical* committed values plus equal logical-message
+accounting — the CI gate for the pluggable-backend refactor
+(DESIGN.md §12).
+
+The recovery tests deliver real ``SIGKILL``s to worker processes and
+assert the heartbeat/sentinel detection plus rebirth-from-replicas
+path converges to the failure-free values exactly.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+
+import pytest
+
+from repro.algorithms import PageRank
+from repro.errors import UnrecoverableFailureError
+from repro.exec.base import BackendError, BackendSpec
+from repro.exec.mp import MultiprocessingBackend
+from repro.exec.simulator import SimulatorBackend
+from repro.graph import generators
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="multiprocessing backend requires the fork start method")
+
+WATCHDOG_S = 180
+
+
+@pytest.fixture(autouse=True)
+def watchdog():
+    """SIGALRM backstop so a wedged worker round can never hang the
+    suite (CI additionally enforces pytest-timeout per test)."""
+    def _fire(signum, frame):  # pragma: no cover - only on a hang
+        raise TimeoutError(f"mp backend test exceeded {WATCHDOG_S}s")
+
+    previous = signal.signal(signal.SIGALRM, _fire)
+    signal.alarm(WATCHDOG_S)
+    yield
+    signal.alarm(0)
+    signal.signal(signal.SIGALRM, previous)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.power_law(80, alpha=2.0, seed=7, avg_degree=5.0,
+                                name="mp-oracle")
+
+
+def _assert_equivalent(sim, mp):
+    assert mp.values == sim.values
+    assert mp.iterations == sim.iterations
+    assert mp.halted == sim.halted
+    assert mp.total_msgs == sim.total_msgs
+    assert mp.total_bytes == sim.total_bytes
+    assert mp.total_batches == sim.total_batches
+    assert mp.msgs_by_kind == sim.msgs_by_kind
+    assert mp.syncs_elided == sim.syncs_elided
+
+
+class TestDifferentialOracle:
+    """Same graph/program/seed => identical outcome on both backends."""
+
+    @pytest.mark.parametrize("partition",
+                             ["hash_edge_cut", "random_vertex_cut"])
+    @pytest.mark.parametrize("ft_level", [0, 1, 2])
+    @pytest.mark.parametrize("algorithm,kwargs", [
+        ("pagerank", ()),
+        ("sssp", (("source", 0),)),
+    ])
+    def test_values_and_message_counts_match(self, graph, algorithm,
+                                             kwargs, partition, ft_level):
+        spec = BackendSpec(
+            algorithm=algorithm, num_nodes=4, partition=partition,
+            ft_mode="none" if ft_level == 0 else "replication",
+            ft_level=ft_level, max_iterations=10,
+            algorithm_kwargs=kwargs)
+        sim = SimulatorBackend().run(graph, spec)
+        with MultiprocessingBackend() as backend:
+            mp = backend.run(graph, spec)
+        _assert_equivalent(sim, mp)
+
+    def test_sync_elision_parity(self, graph):
+        """Elision fires on converging SSSP and both backends elide the
+        same records (and fewer messages than the elision-off run)."""
+        on = BackendSpec(algorithm="sssp", num_nodes=4, max_iterations=12,
+                         algorithm_kwargs=(("source", 0),))
+        off = BackendSpec(algorithm="sssp", num_nodes=4, max_iterations=12,
+                          sync_elision=False,
+                          algorithm_kwargs=(("source", 0),))
+        sim_on = SimulatorBackend().run(graph, on)
+        sim_off = SimulatorBackend().run(graph, off)
+        with MultiprocessingBackend() as backend:
+            mp_on = backend.run(graph, on)
+        with MultiprocessingBackend() as backend:
+            mp_off = backend.run(graph, off)
+        _assert_equivalent(sim_on, mp_on)
+        _assert_equivalent(sim_off, mp_off)
+        assert mp_on.syncs_elided > 0
+        assert mp_on.total_msgs < mp_off.total_msgs
+
+
+class TestRealKillRecovery:
+    """Real SIGKILL -> sentinel/heartbeat detection -> rebirth."""
+
+    @pytest.mark.parametrize("partition",
+                             ["hash_edge_cut", "random_vertex_cut"])
+    @pytest.mark.parametrize("seed", [7, 21])
+    def test_kill_mid_compute_converges_to_failure_free(self, partition,
+                                                        seed):
+        g = generators.power_law(80, alpha=2.0, seed=seed, avg_degree=5.0)
+        base = BackendSpec(algorithm="sssp", num_nodes=4,
+                           partition=partition, ft_level=1,
+                           max_iterations=15,
+                           algorithm_kwargs=(("source", 0),))
+        kill = BackendSpec(algorithm="sssp", num_nodes=4,
+                           partition=partition, ft_level=1,
+                           max_iterations=15,
+                           algorithm_kwargs=(("source", 0),),
+                           failures=((1, (2,), "compute"),))
+        reference = SimulatorBackend().run(g, base)
+        with MultiprocessingBackend() as backend:
+            survived = backend.run(g, kill)
+        assert survived.failures_recovered == 1
+        assert survived.values == reference.values
+        assert survived.iterations == reference.iterations
+
+    @pytest.mark.parametrize("phase", ["compute", "after_commit"])
+    def test_pagerank_kill_both_phases(self, graph, phase):
+        base = BackendSpec(algorithm="pagerank", num_nodes=4, ft_level=1,
+                           max_iterations=8)
+        kill = BackendSpec(algorithm="pagerank", num_nodes=4, ft_level=1,
+                           max_iterations=8,
+                           failures=((2, (1,), phase),))
+        reference = SimulatorBackend().run(graph, base)
+        with MultiprocessingBackend() as backend:
+            survived = backend.run(graph, kill)
+        assert survived.failures_recovered == 1
+        assert survived.values == reference.values
+
+    def test_double_kill_with_ft2(self, graph):
+        """Two ranks SIGKILLed in one iteration; ft_level=2 still holds
+        a copy of everything on the survivors."""
+        base = BackendSpec(algorithm="pagerank", num_nodes=4, ft_level=2,
+                           max_iterations=8, num_standby=2)
+        kill = BackendSpec(algorithm="pagerank", num_nodes=4, ft_level=2,
+                           max_iterations=8, num_standby=2,
+                           failures=((1, (1, 3), "compute"),))
+        reference = SimulatorBackend().run(graph, base)
+        with MultiprocessingBackend() as backend:
+            survived = backend.run(graph, kill)
+        assert survived.failures_recovered == 2
+        assert survived.values == reference.values
+
+    def test_standby_pool_exhaustion_is_unrecoverable(self, graph):
+        spec = BackendSpec(algorithm="pagerank", num_nodes=4, ft_level=1,
+                           max_iterations=10, num_standby=1,
+                           failures=((1, (2,), "compute"),
+                                     (3, (0,), "compute")))
+        with MultiprocessingBackend() as backend:
+            with pytest.raises(UnrecoverableFailureError,
+                               match="standby pool exhausted"):
+                backend.run(graph, spec)
+
+    def test_kill_without_replication_is_unrecoverable(self, graph):
+        spec = BackendSpec(algorithm="pagerank", num_nodes=4,
+                           ft_mode="none", ft_level=0, max_iterations=10,
+                           failures=((1, (2,), "compute"),))
+        with MultiprocessingBackend() as backend:
+            with pytest.raises(UnrecoverableFailureError):
+                backend.run(graph, spec)
+
+
+class TestWorkerHygiene:
+    """Child processes are reaped on every exit path."""
+
+    def test_no_children_leak_after_clean_run(self, graph):
+        spec = BackendSpec(algorithm="pagerank", num_nodes=4,
+                           max_iterations=4)
+        with MultiprocessingBackend() as backend:
+            backend.run(graph, spec)
+            assert not multiprocessing.active_children()
+
+    def test_no_children_leak_after_failed_run(self, graph):
+        """A run that dies with an unrecoverable failure must still
+        reap every worker (the context manager close is also a no-op
+        by then — run()'s finally already cleaned up)."""
+        spec = BackendSpec(algorithm="pagerank", num_nodes=4,
+                           ft_mode="none", ft_level=0, max_iterations=10,
+                           failures=((1, (2,), "compute"),))
+        with MultiprocessingBackend() as backend:
+            with pytest.raises(UnrecoverableFailureError):
+                backend.run(graph, spec)
+        assert not multiprocessing.active_children()
+
+    def test_close_is_idempotent(self, graph):
+        backend = MultiprocessingBackend()
+        backend.run(graph, BackendSpec(algorithm="pagerank", num_nodes=2,
+                                       max_iterations=2))
+        backend.close()
+        backend.close()
+        assert not multiprocessing.active_children()
+
+
+class TestSpecValidation:
+    def test_rejects_edge_mutating_programs(self, graph, monkeypatch):
+        monkeypatch.setattr(PageRank, "mutates_edges", True)
+        spec = BackendSpec(algorithm="pagerank", num_nodes=2,
+                           max_iterations=2)
+        with MultiprocessingBackend() as backend:
+            with pytest.raises(BackendError, match="edge-mutating"):
+                backend.run(graph, spec)
+        assert not multiprocessing.active_children()
+
+    def test_rejects_unbatched_syncs(self, graph):
+        spec = BackendSpec(algorithm="pagerank", num_nodes=2,
+                           max_iterations=2, batch_syncs=False)
+        with MultiprocessingBackend() as backend:
+            with pytest.raises(BackendError, match="batches syncs"):
+                backend.run(graph, spec)
+
+    def test_rejects_non_rebirth_recovery(self, graph):
+        spec = BackendSpec(algorithm="pagerank", num_nodes=2,
+                           max_iterations=2, recovery="migration")
+        with MultiprocessingBackend() as backend:
+            with pytest.raises(BackendError, match="rebirth"):
+                backend.run(graph, spec)
+
+    def test_rejects_failure_beyond_horizon(self, graph):
+        spec = BackendSpec(algorithm="pagerank", num_nodes=2,
+                           max_iterations=2,
+                           failures=((5, (0,), "compute"),))
+        with MultiprocessingBackend() as backend:
+            with pytest.raises(BackendError, match="beyond"):
+                backend.run(graph, spec)

@@ -84,8 +84,6 @@ class TestPlaceRecoveredVertex:
 class TestRelinkEdgeCut:
     def test_positions_must_match(self):
         lg = LocalGraph(0)
-        meta_kw = dict(replica_positions={}, mirror_nodes=[],
-                       master_position=0)
         master = VertexSlot(gid=0, role=Role.MASTER, meta=MasterMeta())
         master.full_edges = [(9, 1, 2.0)]  # expects gid 9 at position 1
         lg.add_slot(master, position=0)
@@ -94,7 +92,6 @@ class TestRelinkEdgeCut:
         assert linked == 1
         assert lg.slot_of(0).in_edges == [(1, 2.0)]
         assert lg.slot_of(9).out_edges == [0]
-        del meta_kw
 
     def test_mismatched_position_raises(self):
         lg = LocalGraph(0)

@@ -3,7 +3,6 @@ phase accounting."""
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.api import make_engine, run_job
