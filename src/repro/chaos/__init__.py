@@ -10,7 +10,9 @@ testing" section of DESIGN.md.
 
 from repro.chaos.controller import (ChaosController, IDEMPOTENT_KINDS,
                                     PHASE_ORDER)
-from repro.chaos.invariants import InvariantChecker, InvariantViolation
+from repro.chaos.invariants import (InvariantChecker,
+                                    InvariantViolation,
+                                    ReadConsistencyChecker)
 from repro.chaos.oracle import (OracleReport, run_differential,
                                 run_with_chaos, values_close)
 from repro.chaos.schedule import (ChaosEvent, CRASH_PHASES, EVENT_PHASES,
@@ -27,6 +29,7 @@ __all__ = [
     "InvariantViolation",
     "OracleReport",
     "PHASE_ORDER",
+    "ReadConsistencyChecker",
     "TARGET_PREDICATES",
     "run_differential",
     "run_with_chaos",

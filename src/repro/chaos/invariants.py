@@ -204,3 +204,58 @@ class InvariantChecker:
                     self._fail(phase, f"vertex {slot.gid}: activity "
                                       f"changed but no re-broadcast is "
                                       f"queued on node {node}")
+
+
+class ReadConsistencyChecker:
+    """Serve-hook twin of the value-agreement invariant (DESIGN.md §13).
+
+    Attached via :meth:`Engine.attach_serve` (NOT as a chaos plugin):
+    serve hooks run *before* any chaos-driven column flush, so every
+    comparison goes through the flush-free committed read path
+    (:meth:`Engine.committed_value_at`) — exactly what the read router
+    serves.  At every commit point (``post_commit``/``post_recovery``)
+    it asserts that each master's committed read equals the committed
+    read of every alive replica copy, i.e. that routing a read to *any*
+    replica is value-equivalent to reading the master.
+
+    Skips mirror the router's own fences: selfish vertices under the
+    active selfish optimisation (their mirrors legitimately skip syncs
+    and the router pins them to the master), and gids inside
+    ``engine.selfish_read_fence`` (recovery-recomputed; the router
+    serves them as degraded misses until the next commit).
+    """
+
+    def __init__(self, context: str = ""):
+        self.context = context
+        #: Number of commit-point sweeps performed.
+        self.checks = 0
+
+    def on_phase(self, engine: "Engine", phase: str) -> None:
+        if phase not in ("post_commit", "post_recovery"):
+            return
+        self.checks += 1
+        skip_selfish = engine.selfish_opt_active
+        fence = engine.selfish_read_fence
+        for node in engine._alive():
+            lg = engine.local_graphs[node]
+            for slot in lg.iter_masters():
+                if slot.meta is None:
+                    continue
+                if (skip_selfish and slot.selfish) or slot.gid in fence:
+                    continue
+                master_value = engine.committed_value_at(node, slot.gid)
+                for rnode in slot.meta.replica_positions:
+                    if not engine.cluster.node(rnode).is_alive:
+                        continue
+                    replica_value = engine.committed_value_at(rnode,
+                                                              slot.gid)
+                    if replica_value != master_value:
+                        suffix = (f" [{self.context}]"
+                                  if self.context else "")
+                        raise InvariantViolation(
+                            f"[{phase}] vertex {slot.gid}: committed "
+                            f"read off replica node {rnode} returns "
+                            f"{replica_value!r}, master node {node} "
+                            f"returns {master_value!r} — replica-read "
+                            f"consistency broken at superstep "
+                            f"{engine.committed_iteration}{suffix}")

@@ -45,7 +45,7 @@ from repro.costmodel import (
 from repro.engine.construction import ConstructionReport, build_local_graphs
 from repro.engine.messages import ActivateBatch, SyncBatch
 from repro.engine.state import VertexSlot
-from repro.engine.vectorized import VectorizedExecutor
+from repro.engine.vectorized import NO_COLUMN, VectorizedExecutor
 from repro.engine.vertex_program import ApplyContext, VertexProgram
 from repro.errors import (
     EngineError,
@@ -222,10 +222,30 @@ class Engine:
 
         # -- runtime state ------------------------------------------------
         self.iteration = 0
+        #: Superstep of the last committed barrier (DESIGN.md §13):
+        #: ``-1`` until the first commit (initial values), rewound by
+        #: recovery to whatever superstep the restored state reflects.
+        #: The read-serving layer tags every response with this.
+        self.committed_iteration = -1
+        #: True while :meth:`_recover` is running — the explicit
+        #: degraded window the read router tags responses with.
+        self.in_recovery = False
+        #: Selfish masters recomputed by the *last* recovery: their
+        #: slot holds the value the upcoming retry will commit (one
+        #: gather+apply over committed neighbor state), and — because
+        #: the selfish optimisation elides their replica syncs — no
+        #: surviving copy holds the last-*committed* value.  The read
+        #: router fences these gids to a degraded miss until the next
+        #: commit barrier closes the window (DESIGN.md §13).
+        self.selfish_read_fence: set[int] = set()
         self._failures: list[_ScheduledFailure] = []
         #: Chaos plugins (fault injectors, invariant checkers); each gets
         #: ``on_phase(engine, phase)`` at every hook point.
         self._chaos_plugins: list[Any] = []
+        #: Serve hooks (read pumps, read-consistency checkers): called
+        #: at every phase hook *before* any chaos-driven column flush,
+        #: so point reads exercise the flush-free committed path.
+        self._serve_hooks: list[Any] = []
         self.iteration_stats: list[IterationStats] = []
         self.recoveries: list[RecoveryStats] = []
         #: Sync records skipped as non-activating no-ops (DESIGN.md §10).
@@ -270,6 +290,17 @@ class Engine:
         Plugins run in attach order.
         """
         self._chaos_plugins.append(plugin)
+
+    def attach_serve(self, hook: Any) -> None:
+        """Register a read-serving hook (:mod:`repro.serve`).
+
+        Like a chaos plugin, a serve hook exposes
+        ``on_phase(engine, phase)`` and runs at every phase hook — but
+        *before* the chaos plugins and before any vectorized-column
+        flush, so the hook's point reads go through the flush-free
+        committed-value path (DESIGN.md §13).
+        """
+        self._serve_hooks.append(hook)
 
     def schedule_failure(self, iteration: int, nodes, phase: str = "compute"
                          ) -> None:
@@ -336,6 +367,32 @@ class Engine:
             node = self.master_node_of[v]
             out[v] = self.local_graphs[node].slot_of(v).value
         return out
+
+    def value_of(self, gid: int) -> Any:
+        """Committed value of one vertex, read from its master.
+
+        A point read (DESIGN.md §13): neither materializes the full
+        :meth:`values` dict nor triggers a whole-column vectorized
+        writeback — when a committed SoA column is cached the value is
+        read straight from it, otherwise from the slot.
+        """
+        return self.committed_value_at(self.master_node_of[gid], gid)
+
+    def committed_value_at(self, node: int, gid: int) -> Any:
+        """Flush-free committed read of one vertex copy on one node.
+
+        Valid for any copy — master, mirror or plain replica; between
+        barriers every copy holds the value committed at
+        :attr:`committed_iteration` (the replica value-agreement
+        invariant), which is exactly what this returns.
+        """
+        lg = self.local_graphs[node]
+        pos = lg.index_of[gid]
+        if self._vec is not None:
+            value = self._vec.committed_value(node, pos)
+            if value is not NO_COLUMN:
+                return value
+        return lg.slots[pos].value
 
     def memory_report(self) -> dict[int, int]:
         """Per-node resident bytes of graph state (Tables 3 and 7)."""
@@ -433,7 +490,11 @@ class Engine:
         return self.cluster.alive_workers()
 
     def _chaos_point(self, phase: str) -> None:
-        """Invoke every attached chaos plugin at a named phase hook."""
+        """Invoke serve hooks, then every chaos plugin, at a phase hook."""
+        # Serve hooks first, before any flush: their reads must take
+        # the flush-free committed-column path (DESIGN.md §13).
+        for hook in self._serve_hooks:
+            hook.on_phase(self, phase)
         if not self._chaos_plugins:
             return
         # Plugins inspect slot state directly; surface any deferred
@@ -630,6 +691,14 @@ class Engine:
         with self.tracer.span("barrier", iteration=self.iteration) as sp:
             ckpt_time = self._commit_barrier_inner(alive, net, sp)
         self._finish_iteration_stats(alive, net, ckpt_time)
+        # The barrier committed: reads served from here on reflect this
+        # superstep (the vectorized columns already hold it, flushed or
+        # not — the read path never needs the slot writeback).  Any
+        # recovery-recomputed selfish values are now the committed
+        # values, so the read fence closes.
+        self.committed_iteration = self.iteration
+        if self.selfish_read_fence:
+            self.selfish_read_fence.clear()
 
     def _commit_barrier_inner(self, alive: list[int], net, span) -> float:
         # Apply received syncs to replicas/mirrors.
@@ -816,6 +885,10 @@ class Engine:
             self._vec.rollback()
 
     def _recover(self, failed: tuple[int, ...]) -> None:
+        # The explicit degraded window: reads served between here and
+        # the end of recovery fall back to surviving replicas and are
+        # tagged ``degraded=True`` by the router (DESIGN.md §13).
+        self.in_recovery = True
         # Recovery reads survivor slots throughout, and every protocol
         # may rewrite slot arrays / edge lists / replica metadata in
         # place — flush the vectorized executor's deferred commits and
@@ -882,6 +955,13 @@ class Engine:
             lg.invalidate_soa()
         post = self.cluster.clocks.barrier(self.model, self._alive())
         self._last_barrier_clock = post
+        # Whatever rung recovered — in-memory replicas (state of the
+        # last commit before ``self.iteration``) or a checkpoint rewind
+        # (which lowered ``self.iteration`` to the resume point) — the
+        # restored state is the commit of the superstep before the one
+        # about to (re)run.
+        self.committed_iteration = self.iteration - 1
+        self.in_recovery = False
         self._chaos_point("post_recovery")
 
     def _recover_once(self, failed: tuple[int, ...],
@@ -1054,6 +1134,13 @@ class Engine:
         if self.job.ft.mode is not FTMode.REPLICATION or k <= 0:
             self._ft_level_current = 0
             self._ft_degraded = False
+            # The gauges must track the fields even on this early
+            # return: a metrics snapshot taken after an FT-mode/level
+            # transition (or in a non-replication run) would otherwise
+            # carry whatever was published last — stale exactly when
+            # the degraded-mode surface changes.
+            self.metrics.set_gauge("ft.level_current", 0)
+            self.metrics.set_gauge("ft.degraded", False)
             return
         level = k
         for node in self._alive():
@@ -1094,6 +1181,9 @@ class Engine:
         the lost iterations.
         """
         assert self.ckpt is not None
+        # A checkpoint rewind restores committed snapshots everywhere,
+        # including selfish masters a prior ladder pass recomputed.
+        self.selfish_read_fence.clear()
         for node in failed:
             self.cluster.replace_node(node)
         alive = self._alive()
@@ -1150,6 +1240,9 @@ class Engine:
         snapshot written yet the run restarts from iteration 0.
         """
         assert self.ckpt is not None
+        # The rewind restores committed snapshots everywhere, including
+        # selfish masters a prior ladder pass recomputed.
+        self.selfish_read_fence.clear()
         # Re-provision each still-crashed id: a live spare if one
         # exists, else a rebooted machine — snapshot recovery needs no
         # surviving memory, so a fresh node can always take the slot.

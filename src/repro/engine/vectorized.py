@@ -55,6 +55,12 @@ from repro.engine.messages import (
 from repro.errors import EngineError
 from repro.utils.sizing import BYTES_PER_VID
 
+#: Sentinel returned by :meth:`VectorizedExecutor.committed_value` when
+#: no valid cached column exists for the node — the caller falls back
+#: to the (then-authoritative) slot value.  A sentinel rather than
+#: ``None`` because ``None`` could be a legitimate vertex value.
+NO_COLUMN = object()
+
 
 class _NodeState:
     """Per-node dynamic columns + pending staging.
@@ -129,6 +135,10 @@ class VectorizedExecutor:
         self._states: dict[int, _NodeState] = {}
         #: Vertex-cut: node -> [(positions, sender_nodes, accs)].
         self._partials: dict[int, list] = {}
+        #: Whole-column slot writebacks performed (:meth:`flush` calls
+        #: that found deferred commits).  The read-path contract is that
+        #: point reads never advance this counter.
+        self.flush_count = 0
 
     # -- per-superstep state -------------------------------------------
 
@@ -159,6 +169,7 @@ class VectorizedExecutor:
             pos = np.flatnonzero(st.unflushed)
             if not pos.size:
                 continue
+            self.flush_count += 1
             slots = self.engine.local_graphs[node].slots
             for p, v, a, sa, it in zip(
                     pos.tolist(), st.values[pos].tolist(),
@@ -171,6 +182,33 @@ class VectorizedExecutor:
                 slot.mirror_self_active = sa
                 slot.last_update_iter = it
             st.unflushed[:] = False
+
+    def committed_value(self, node: int, pos: int):
+        """Flush-free committed read of one position's column value.
+
+        The committed columns are authoritative between barriers — the
+        barrier commit dual-writes them and defers the slot writeback —
+        so a point read can take the value straight from the array
+        without forcing :meth:`flush`.  Returns :data:`NO_COLUMN` when
+        the node has no valid cached state (fresh engine, post-recovery
+        invalidation): the slots are then authoritative and the caller
+        reads them directly.
+        """
+        st = self._states.get(node)
+        if st is None or st.topo is not self.engine.local_graphs[node].topology():
+            return NO_COLUMN
+        return st.values[pos].item()
+
+    def committed_columns(self, node: int):
+        """The node's committed value column + topology, flush-free.
+
+        Returns ``(topo, values)`` for bulk committed reads (top-K) or
+        :data:`NO_COLUMN` when no valid cached state exists.
+        """
+        st = self._states.get(node)
+        if st is None or st.topo is not self.engine.local_graphs[node].topology():
+            return NO_COLUMN
+        return st.topo, st.values
 
     def _state(self, node: int) -> _NodeState:
         lg = self.engine.local_graphs[node]

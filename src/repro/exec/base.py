@@ -108,6 +108,23 @@ class BackendSpec:
     #: hashable.
     algorithm_kwargs: tuple = ()
     failures: tuple = ()
+    #: Sorted ``(key, value)`` pairs configuring the online
+    #: read-serving layer (DESIGN.md §13); empty = no serving.  Keys
+    #: mix :class:`repro.serve.workload.OpenLoopWorkload` arguments
+    #: (``num_queries``, ``qps``, ``zipf_s``, ``seed``, ...) with the
+    #: routing knobs ``policy`` and ``route_seed`` plus the cursor's
+    #: ``expected_supersteps`` (defaults to ``max_iterations``).  Both
+    #: backends build the same workload and report the same
+    #: ``extra["serve"]`` shape.
+    serve: tuple = ()
+
+    def serve_config(self) -> dict | None:
+        """The serve kv-pairs as a dict, or ``None`` when not serving."""
+        if not self.serve:
+            return None
+        cfg = dict(self.serve)
+        cfg.setdefault("expected_supersteps", self.max_iterations)
+        return cfg
 
     def engine_kwargs(self) -> dict:
         """The :func:`repro.api.make_engine` keyword arguments."""

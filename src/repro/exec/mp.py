@@ -44,6 +44,7 @@ syncs are mandatory (the wire format is the batch).
 
 from __future__ import annotations
 
+import heapq
 import os
 import signal
 import time
@@ -60,6 +61,11 @@ from repro.exec.base import (BackendError, BackendRunResult, BackendSpec,
 from repro.exec.protocol import NodeProtocol
 from repro.exec.serialize import (decode_batch, encode_batch,
                                   encoded_nbytes, encoded_records)
+from repro.serve.router import MISS, ReplicaRouter
+from repro.serve.server import ReadResponse, ServeStats, WorkloadCursor
+from repro.serve.view import CommittedView
+from repro.serve.workload import (NEIGHBORHOOD, POINT, TOPK,
+                                  workload_from_config)
 from repro.utils.sizing import BYTES_PER_MSG_HEADER
 
 
@@ -263,6 +269,25 @@ def _worker_main(rank: int, conn, close_conns, engine) -> None:
             if frame[1]:
                 _force_rebroadcast(lg, pending_broadcast)
             conn.send(("recovered_ack",))
+        elif tag == "read":
+            # Point reads of committed state: the coordinator only
+            # sends these at protocol-safe points (workers idle between
+            # rounds, never inside the commit exchange), so every slot
+            # value here is the last committed one.  Any local copy —
+            # master, replica or mirror — answers.
+            req_id, gids = frame[1], frame[2]
+            conn.send(("read_done", req_id,
+                       {gid: (lg.slot_of(gid).value
+                              if gid in lg.index_of else None)
+                        for gid in gids}))
+        elif tag == "topk":
+            # Local-masters top-K by (value desc, gid asc); the
+            # coordinator merges the per-rank lists.
+            req_id, k = frame[1], frame[2]
+            top = heapq.nlargest(
+                k, ((slot.value, -slot.gid) for slot in lg.iter_masters()))
+            conn.send(("topk_done", req_id,
+                       [(-neg_gid, value) for value, neg_gid in top]))
         elif tag == "values":
             conn.send(("values_done",
                        {slot.gid: slot.value for slot in lg.iter_masters()}))
@@ -301,6 +326,138 @@ class _TrafficBook:
         self.by_kind[kind] += records
 
 
+class _MpReadServer:
+    """Coordinator-side query server over worker read frames.
+
+    Routing and accounting reuse the simulator's serve layer —
+    :class:`~repro.serve.router.ReplicaRouter` /
+    :class:`~repro.serve.server.ServeStats` — over the pristine parent
+    engine, whose placement is the workers' placement (static under
+    rebirth-only recovery).  The parent's cluster never crashes, so the
+    router runs with ``use_cluster_liveness=False`` and the coordinator
+    passes the ranks it knows dead explicitly.  Reads execute as
+    batched ``read``/``topk`` frames against the workers holding the
+    routed copies, only at protocol-safe points (workers idle between
+    rounds), so every answer is a committed slot value.  Queries due at
+    one drain point share the drain's round-trip latency — they are
+    served concurrently by one frame exchange.
+    """
+
+    def __init__(self, backend: "MultiprocessingBackend", engine,
+                 workload, cfg: dict):
+        self.backend = backend
+        self.engine = engine
+        self.view = CommittedView(engine)  # static topology reads only
+        self.cursor = WorkloadCursor(workload, cfg["expected_supersteps"])
+        self.router = ReplicaRouter(
+            engine, seed=cfg.get("route_seed", 0),
+            policy=cfg.get("policy", "round_robin"),
+            use_cluster_liveness=False)
+        self.stats = ServeStats(cfg.get("keep_responses", True))
+        self.neighborhood_limit = workload.neighborhood_limit
+        self._req = 0
+
+    def drain(self, progress: float, committed: int,
+              dead=frozenset(), force_degraded: bool = False) -> None:
+        """Serve every query whose arrival progress has passed."""
+        queries = self.cursor.due(progress)
+        if queries:
+            self._serve_batch(queries, committed, dead, force_degraded)
+
+    def finish(self, committed: int) -> None:
+        queries = self.cursor.drain()
+        if queries:
+            self._serve_batch(queries, committed, frozenset(), False)
+
+    def report(self) -> dict:
+        return self.stats.report(self.router, self.engine.metrics)
+
+    # -- execution -------------------------------------------------------
+
+    def _serve_batch(self, queries, committed: int, dead,
+                     force_degraded: bool) -> None:
+        start = time.perf_counter()
+        alive = sorted(self.backend._workers)
+        # Route every point/neighborhood gid, bucket by serving rank.
+        plans: list = []
+        by_rank: dict[int, set] = defaultdict(set)
+        topk_ks: set[int] = set()
+        for query in queries:
+            if query.kind == TOPK:
+                topk_ks.add(query.k)
+                plans.append(None)
+                continue
+            gids = ([query.gid] if query.kind == POINT
+                    else self.view.out_neighbors(
+                        query.gid, limit=self.neighborhood_limit))
+            routed: list[tuple[int, int]] = []
+            degraded = force_degraded
+            for gid in gids:
+                node, deg = self.router.route(
+                    gid, dead=dead, force_degraded=force_degraded)
+                degraded = degraded or deg
+                routed.append((gid, node))
+                if node == MISS:
+                    self.stats.misses += 1
+                else:
+                    by_rank[node].add(gid)
+            plans.append((routed, degraded))
+        # One read frame per involved rank, one topk frame per distinct
+        # K — the whole drain is two collect round-trips at most.
+        values: dict[int, dict] = {}
+        if by_rank:
+            self._req += 1
+            req = self._req
+            for rank in sorted(by_rank):
+                self.backend._send(rank, ("read", req,
+                                          sorted(by_rank[rank])))
+            frames = self.backend._collect("read_done", req,
+                                           sorted(by_rank))
+            values = {rank: frame[2] for rank, frame in frames.items()}
+        topk_merged: dict[int, tuple] = {}
+        for k in sorted(topk_ks):
+            self._req += 1
+            for rank in alive:
+                self.backend._send(rank, ("topk", self._req, k))
+            frames = self.backend._collect("topk_done", self._req, alive)
+            merged = sorted((pair for frame in frames.values()
+                             for pair in frame[2]),
+                            key=lambda t: (-t[1], t[0]))
+            topk_merged[k] = tuple((int(gid), value)
+                                   for gid, value in merged[:k])
+        latency_s = time.perf_counter() - start
+        # Top-K coverage is partial whenever any rank is out of the
+        # aggregation or recovery-recomputed selfish masters are still
+        # in the ranking — the explicit-degradation contract.
+        topk_degraded = (force_degraded or bool(dead)
+                         or bool(self.engine.selfish_read_fence)
+                         or len(alive) < self.engine.cluster.num_workers)
+        for query, plan in zip(queries, plans):
+            if query.kind == TOPK:
+                resp = ReadResponse(
+                    gid=-1, kind=TOPK, value=topk_merged[query.k],
+                    superstep=committed, degraded=topk_degraded,
+                    replica_node=MISS)
+            else:
+                routed, degraded = plan
+                parts = [(gid, None if node == MISS
+                          else values[node][gid])
+                         for gid, node in routed]
+                if query.kind == POINT:
+                    resp = ReadResponse(
+                        gid=query.gid, kind=POINT, value=parts[0][1],
+                        superstep=committed, degraded=degraded,
+                        replica_node=routed[0][1])
+                else:
+                    node0 = next((node for _gid, node in routed
+                                  if node != MISS), MISS)
+                    resp = ReadResponse(
+                        gid=query.gid, kind=NEIGHBORHOOD,
+                        value=tuple(parts), superstep=committed,
+                        degraded=degraded, replica_node=node0)
+            self.stats.record(resp, latency_s)
+
+
 class MultiprocessingBackend(ExecutionBackend):
     """Real-process backend: one forked worker per cluster node."""
 
@@ -313,6 +470,7 @@ class MultiprocessingBackend(ExecutionBackend):
         self._ctx = None
         self._workers: dict[int, _Worker] = {}
         self._engine = None
+        self._serve: _MpReadServer | None = None
 
     # -- lifecycle -------------------------------------------------------
 
@@ -500,6 +658,19 @@ class MultiprocessingBackend(ExecutionBackend):
         self._standby_left -= len(dead_sorted)
         if mid_iteration:
             self._abort_survivors(iteration, survivors)
+        # The explicit degraded read window: the dead ranks are reaped
+        # and survivors hold the last commit, so reads due by now fall
+        # back to surviving replicas (selfish masters on dead ranks
+        # miss — their only current copy died) and are tagged degraded.
+        if self._serve is not None:
+            self._engine.in_recovery = True
+            try:
+                self._serve.drain(
+                    iteration + (0.6 if mid_iteration else 1.0),
+                    committed=iteration - 1 if mid_iteration else iteration,
+                    dead=set(dead_sorted), force_degraded=True)
+            finally:
+                self._engine.in_recovery = False
         for rank in dead_sorted:
             self._spawn_worker(rank)
 
@@ -569,6 +740,16 @@ class MultiprocessingBackend(ExecutionBackend):
             self._send(rank, ("recovered", force))
         self._collect("recovered_ack", None, survivors)
         self._rebirths += len(dead_sorted)
+        # Reborn selfish masters were reseeded from replicas that — by
+        # the selfish optimisation — never saw their syncs: stale until
+        # the redone superstep recomputes them.  Fence their reads to a
+        # degraded miss until the next commit (the simulator's
+        # ``Engine.selfish_read_fence``, same contract).
+        if self._engine.selfish_opt_active:
+            for rank in dead_sorted:
+                lg = self._engine.local_graphs[rank]
+                self._engine.selfish_read_fence.update(
+                    slot.gid for slot in lg.iter_masters() if slot.selfish)
 
     # -- the run loop ----------------------------------------------------
 
@@ -618,6 +799,11 @@ class MultiprocessingBackend(ExecutionBackend):
         self._engine = engine
         self._standby_left = spec.num_standby
         self._rebirths = 0
+        serve_cfg = spec.serve_config()
+        self._serve = None
+        if serve_cfg is not None:
+            workload = workload_from_config(graph.num_vertices, serve_cfg)
+            self._serve = _MpReadServer(self, engine, workload, serve_cfg)
         kills_pending = {"compute": defaultdict(set),
                          "after_commit": defaultdict(set)}
         for iteration, ranks, phase in spec.failures:
@@ -634,6 +820,8 @@ class MultiprocessingBackend(ExecutionBackend):
             while completed < spec.max_iterations:
                 it = completed
                 try:
+                    if self._serve is not None:
+                        self._serve.drain(it + 0.0, committed=it - 1)
                     active_total, elided = self._iterate(
                         it, book, kills_pending["compute"].pop(it, set()))
                 except _WorkerDeath as death:
@@ -642,6 +830,10 @@ class MultiprocessingBackend(ExecutionBackend):
                     continue  # redo the aborted iteration
                 elided_total += elided
                 completed += 1
+                # The commit of ``it`` made any recovery-recomputed
+                # selfish values the committed ones: the read fence
+                # closes (mirrors Engine._commit_barrier).
+                engine.selfish_read_fence.clear()
                 if active_total == 0:
                     halted = True
                     break
@@ -651,10 +843,19 @@ class MultiprocessingBackend(ExecutionBackend):
                     if dead:
                         self._recover(dead, it, spec, mid_iteration=False)
             wall_s = time.perf_counter() - start
+            if self._serve is not None:
+                self._serve.finish(committed=completed - 1)
             values = self._collect_values()
         finally:
             self.close()
             self._engine = None
+        extra = {"workers": len(engine.local_graphs),
+                 "rebirths": self._rebirths,
+                 "standby_left": self._standby_left}
+        if self._serve is not None:
+            extra["serve"] = self._serve.report()
+            extra["serve_responses"] = self._serve.stats.responses
+            self._serve = None
         return BackendRunResult(
             backend=self.name,
             values=values,
@@ -667,9 +868,7 @@ class MultiprocessingBackend(ExecutionBackend):
             wall_s=wall_s,
             halted=halted,
             failures_recovered=self._rebirths,
-            extra={"workers": len(engine.local_graphs),
-                   "rebirths": self._rebirths,
-                   "standby_left": self._standby_left})
+            extra=extra)
 
     def _iterate(self, it: int, book: _TrafficBook,
                  kill_now: set[int]) -> tuple[int, int]:
@@ -704,6 +903,13 @@ class MultiprocessingBackend(ExecutionBackend):
             vc2 = self._collect("vc2_done", it, alive)
             sync_frames = self._route(vc2, book)
             elided = sum(frame[4] for frame in vc2.values())
+
+        # Reads interleave mid-superstep: compute is done but nothing
+        # committed, so worker slots still hold the last commit —
+        # staged results live only in the pending fields.  (Never drain
+        # between the commit rounds below: slots flip there.)
+        if self._serve is not None:
+            self._serve.drain(it + 0.5, committed=it - 1)
 
         # Commit rounds.  An unscheduled death past this point would
         # leave a half-committed superstep; the scheduled chaos phases

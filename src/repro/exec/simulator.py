@@ -4,7 +4,11 @@ A thin adapter: :class:`SimulatorBackend` builds the same ``Engine``
 the rest of the repo uses (tests, chaos, cost model — semantics
 unchanged) and repackages its outcome as a
 :class:`~repro.exec.base.BackendRunResult` for cross-backend
-comparison.
+comparison.  When the spec carries a serve configuration the backend
+attaches a :class:`~repro.serve.server.ServePump`, so reads interleave
+with supersteps and recovery at every engine phase hook, and returns
+the serve report (and responses, for the differential check) in
+``extra["serve"]`` / ``extra["serve_responses"]``.
 """
 
 from __future__ import annotations
@@ -13,6 +17,8 @@ import time
 
 from repro.api import make_engine
 from repro.exec.base import BackendRunResult, BackendSpec, ExecutionBackend
+from repro.serve.server import ReadServer, ServePump, WorkloadCursor
+from repro.serve.workload import workload_from_config
 
 
 class SimulatorBackend(ExecutionBackend):
@@ -24,10 +30,32 @@ class SimulatorBackend(ExecutionBackend):
         engine = make_engine(graph, **spec.engine_kwargs())
         for iteration, ranks, phase in spec.failures:
             engine.schedule_failure(iteration, list(ranks), phase)
+        serve_cfg = spec.serve_config()
+        pump = None
+        if serve_cfg is not None:
+            workload = workload_from_config(graph.num_vertices, serve_cfg)
+            server = ReadServer(
+                engine,
+                seed=serve_cfg.get("route_seed", 0),
+                policy=serve_cfg.get("policy", "round_robin"),
+                keep_responses=serve_cfg.get("keep_responses", True),
+                neighborhood_limit=workload.neighborhood_limit)
+            cursor = WorkloadCursor(workload,
+                                    serve_cfg["expected_supersteps"])
+            pump = ServePump(server, cursor)
+            engine.attach_serve(pump)
         start = time.perf_counter()
         result = engine.run()
         wall_s = time.perf_counter() - start
         totals = engine.cluster.network.totals
+        extra = {
+            "ft_level_current": result.ft_level_current,
+            "ft_degraded": result.ft_degraded,
+        }
+        if pump is not None:
+            pump.finish()
+            extra["serve"] = pump.server.report()
+            extra["serve_responses"] = pump.server.responses
         return BackendRunResult(
             backend=self.name,
             values=result.values,
@@ -44,8 +72,5 @@ class SimulatorBackend(ExecutionBackend):
             wall_s=wall_s,
             halted=result.halted_early,
             failures_recovered=len(result.recoveries),
-            extra={
-                "ft_level_current": result.ft_level_current,
-                "ft_degraded": result.ft_degraded,
-            },
+            extra=extra,
         )

@@ -266,10 +266,18 @@ def recompute_selfish_masters(engine: "Engine", gids: list[int]) -> int:
     values restores it.  Under vertex-cut the gather spans nodes, so
     partials are folded in node-id order like the engine does.
     Returns the number of gather operations (edges) performed.
+
+    The recomputed value is the one the *retried* superstep will
+    commit, not the last-committed one — and because selfish syncs are
+    elided, no surviving copy holds the committed value either.  The
+    gids therefore enter ``engine.selfish_read_fence`` so the read
+    router serves them as degraded misses until the next commit
+    barrier (DESIGN.md §13).
     """
     program = engine.program
     ctx = engine._ctx()
     edges = 0
+    engine.selfish_read_fence.update(gids)
     if engine.is_edge_cut:
         for gid in gids:
             node = engine.master_node_of[gid]

@@ -1,0 +1,113 @@
+"""Replica-aware read routing: K+1 copies as free read fan-out.
+
+Every vertex has ``ft_level + 1`` committed copies (master + replicas,
+DESIGN.md §3) that agree at every barrier — the replica value-agreement
+invariant — so a point read can be served by *any* alive copy.  The
+:class:`ReplicaRouter` spreads reads across them with a seeded
+round-robin or least-loaded policy and owns the degraded-mode policy
+(DESIGN.md §13):
+
+* a read is tagged ``degraded=True`` while the engine is inside
+  recovery, or when any copy of the vertex sits on a dead node (the
+  read falls back to a surviving replica);
+* **selfish vertices are fenced to master-only routing** when the
+  selfish-vertex optimisation is active (Section 4.4): their mirrors
+  legitimately skip value syncs, and post-recovery recomputation
+  refreshes only the master, so replica copies may be stale — exactly
+  the reads the audit found and this fence closes;
+* a vertex with *no* alive copy (mid-recovery, replication exhausted)
+  yields a miss: ``node == -1``, always degraded.
+
+Routing decisions are deterministic for a fixed seed and call sequence;
+per-replica load counts feed the obs registry.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.engine import Engine
+
+#: Sentinel node id for "no alive copy" misses.
+MISS = -1
+
+
+class ReplicaRouter:
+    """Seeded replica-selection policy over a live engine's placement."""
+
+    def __init__(self, engine: "Engine", seed: int = 0,
+                 policy: str = "round_robin",
+                 use_cluster_liveness: bool = True):
+        if policy not in ("round_robin", "least_loaded"):
+            raise ValueError(f"unknown routing policy {policy!r}")
+        self.engine = engine
+        self.policy = policy
+        #: Reads served per node (the per-replica load report).
+        self.load: Counter[int] = Counter()
+        #: Whether to consult the simulated cluster's liveness flags —
+        #: the multiprocessing coordinator routes over the pristine
+        #: parent engine (whose nodes are never "crashed") and passes
+        #: dead ranks explicitly instead.
+        self._use_cluster_liveness = use_cluster_liveness
+        self._rr = seed
+
+    # -- placement -------------------------------------------------------
+
+    def candidates(self, gid: int) -> list[int]:
+        """Nodes hosting a committed copy of ``gid``, master first.
+
+        Selfish vertices under the active selfish optimisation are
+        fenced to their master (see module docstring).
+        """
+        engine = self.engine
+        master = engine.master_node_of[gid]
+        slot = engine.local_graphs[master].slot_of(gid)
+        if engine.selfish_opt_active and slot.selfish:
+            return [master]
+        return [master] + sorted(slot.meta.replica_positions)
+
+    def _is_alive(self, node: int, dead) -> bool:
+        if node in dead:
+            return False
+        return (not self._use_cluster_liveness
+                or self.engine.cluster.node(node).is_alive)
+
+    # -- routing ---------------------------------------------------------
+
+    def route(self, gid: int, dead=frozenset(),
+              force_degraded: bool = False) -> tuple[int, bool]:
+        """Pick the copy that serves this read.
+
+        Returns ``(node, degraded)``; ``node`` is :data:`MISS` when no
+        copy is alive.  ``dead`` lists ranks known dead by the caller
+        (multiprocessing coordinator); ``force_degraded`` marks reads
+        issued inside an explicitly degraded window.
+        """
+        # A selfish master recomputed by recovery holds the value the
+        # retry will commit, and no surviving copy holds the committed
+        # one — a degraded miss until the next barrier closes the
+        # window (see ``Engine.selfish_read_fence``).
+        if gid in self.engine.selfish_read_fence:
+            return MISS, True
+        candidates = self.candidates(gid)
+        alive = [n for n in candidates if self._is_alive(n, dead)]
+        degraded = (force_degraded or self.engine.in_recovery
+                    or len(alive) < len(candidates))
+        if not alive:
+            return MISS, True
+        if self.policy == "least_loaded":
+            node = min(alive, key=lambda n: (self.load[n], n))
+        else:
+            node = alive[self._rr % len(alive)]
+            self._rr += 1
+        self.load[node] += 1
+        return node, degraded
+
+    # -- reporting -------------------------------------------------------
+
+    def publish_load(self, metrics) -> None:
+        """Export per-replica load as ``serve.load.node.N`` gauges."""
+        for node, count in sorted(self.load.items()):
+            metrics.set_gauge(f"serve.load.node.{node}", count)

@@ -190,6 +190,33 @@ class TestDegradedMode:
         assert result.ft_level_current == 2
         assert result.fallbacks == {}
 
+    def test_gauges_published_on_non_replication_early_return(self, graph):
+        # Regression: ``_update_ft_gauges`` used to return before
+        # publishing on the non-replication path, so a metrics snapshot
+        # of such a run carried no (or stale) ``ft.*`` gauges.
+        engine = make_engine(graph, "pagerank", num_nodes=4,
+                             max_iterations=3, ft_mode="none")
+        # Construction already walked the early-return path once.
+        assert engine.metrics.gauge("ft.level_current") == 0
+        assert engine.metrics.gauge("ft.degraded") is False
+        # Poison the gauges the way a stale prior publish would; the
+        # early-return path must overwrite, not skip, them.
+        engine.metrics.set_gauge("ft.level_current", 2)
+        engine.metrics.set_gauge("ft.degraded", True)
+        engine._update_ft_gauges()
+        assert engine.metrics.gauge("ft.level_current") == 0
+        assert engine.metrics.gauge("ft.degraded") is False
+        engine.run()
+        assert engine.metrics.gauge("ft.level_current") == 0
+        assert engine.metrics.gauge("ft.degraded") is False
+
+    def test_gauges_published_in_replication_mode(self, graph):
+        engine = make_engine(graph, "pagerank", num_nodes=6,
+                             max_iterations=4, ft_level=2, num_standby=0)
+        engine.run()
+        assert engine.metrics.gauge("ft.level_current") == 2
+        assert engine.metrics.gauge("ft.degraded") is False
+
 
 class TestMidProtocolRestart:
     """Satellite: a crash landing *during* recovery is handled at once
