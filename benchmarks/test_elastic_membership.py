@@ -1,0 +1,161 @@
+"""Elastic membership benchmark: rebalance cost and adaptive-K control.
+
+The acceptance scenario for the elastic control plane (DESIGN.md §14):
+a PageRank job rides through the issue's full churn schedule — two
+joins, a drain, a flap, then a two-kill burst — while the adaptive
+replication floor reacts.  Three configurations run on the simulator
+(and the churn schedule once more on the multiprocessing backend):
+
+* ``static``        — failure-free fixed-K baseline;
+* ``static_kills``  — fixed K, kill burst only (recovery-latency
+  reference);
+* ``adaptive``      — full churn schedule with the adaptive floor
+  (``ft_level_min=1 .. ft_level_max=3``).
+
+Results — rebalance cost (masters moved, bytes shipped, simulated
+transfer seconds), per-recovery latency breakdowns, and the complete
+floor-event trajectory — land in ``BENCH_elastic_membership.json``.
+
+Gates:
+
+* every elastic run stays **bit-identical** to the static baseline;
+* the adaptive floor **rises after the kill burst and relaxes back to
+  the resting floor after quiet**, asserted from the JSON artifact the
+  CI job uploads (not from in-memory state);
+* rebalance cost is recorded and non-zero whenever masters moved.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+from pathlib import Path
+
+import pytest
+
+from repro.exec.base import BackendSpec
+from repro.exec.simulator import SimulatorBackend
+from repro.graph import generators
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / \
+    "BENCH_elastic_membership.json"
+
+NUM_VERTICES = 600
+NUM_NODES = 6
+HORIZON = 26
+
+#: Two joins, one drain, one flap (iterations 2/4/6) ...
+MEMBERSHIP = ((2, "join", None, 2), (4, "drain", 1), (6, "flap", 2))
+#: ... then a kill burst: two nodes lost on consecutive iterations.
+KILL_BURST = ((10, (2,), "compute"), (11, (3,), "compute"))
+
+BASE = dict(algorithm="pagerank", num_nodes=NUM_NODES, ft_level=1,
+            max_iterations=HORIZON, seed=11, num_standby=3)
+
+SPECS = {
+    "static": BackendSpec(**BASE),
+    "static_kills": BackendSpec(**BASE, failures=KILL_BURST),
+    "adaptive": BackendSpec(**BASE, ft_level_min=1, ft_level_max=3,
+                            membership=MEMBERSHIP, failures=KILL_BURST),
+}
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.power_law(NUM_VERTICES, alpha=2.1, seed=3,
+                                avg_degree=6.0, name="elastic-bench")
+
+
+def _record(result):
+    membership = result.extra.get("membership", {})
+    return {
+        "backend": result.backend,
+        "iterations": result.iterations,
+        "wall_time_s": result.wall_s,
+        "messages": result.total_msgs,
+        "bytes": result.total_bytes,
+        "failures_recovered": result.failures_recovered,
+        "rebalance": {
+            "moves": membership.get("moves", 0),
+            "bytes": membership.get("bytes", 0),
+            "transfer_sim_s": membership.get("transfer_sim_s", 0.0),
+            "joins": membership.get("joins", 0),
+            "drains": membership.get("drains", 0),
+            "flaps": membership.get("flaps", 0),
+            "epoch": membership.get("epoch", 0),
+        },
+        "floor_events": [list(event) for event in
+                         membership.get("floor_events", [])],
+        "leader_term": membership.get("leader_term", 0),
+    }
+
+
+@pytest.fixture(scope="module")
+def results(graph):
+    """Run all scenarios once, write the artifact, hand back the runs."""
+    backend = SimulatorBackend()
+    runs = {name: backend.run(graph, spec)
+            for name, spec in SPECS.items()}
+    mp_name = None
+    if "fork" in multiprocessing.get_all_start_methods():
+        from repro.exec.mp import MultiprocessingBackend
+        with MultiprocessingBackend() as mp:
+            runs["adaptive_mp"] = mp.run(graph, SPECS["adaptive"])
+        mp_name = "adaptive_mp"
+    payload = {
+        "figure": "elastic_membership",
+        "scenarios": {name: _record(run) for name, run in runs.items()},
+        "recovery_latency_s": {
+            name: [rec["reconstruct_s"] + rec["detection_s"]
+                   + rec["replay_s"]
+                   for rec in run.extra.get("recoveries", [])]
+            for name, run in runs.items()
+            if name in ("static_kills", "adaptive")},
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                          + "\n")
+    return runs, mp_name
+
+
+class TestElasticMembershipBench:
+    def test_elastic_runs_bit_identical_to_static(self, results):
+        runs, mp_name = results
+        base = runs["static"].values
+        assert runs["static_kills"].values == base
+        assert runs["adaptive"].values == base
+        if mp_name:
+            assert runs[mp_name].values == base
+
+    def test_rebalance_cost_recorded(self, results):
+        runs, _ = results
+        payload = json.loads(BENCH_PATH.read_text())
+        cost = payload["scenarios"]["adaptive"]["rebalance"]
+        assert cost["joins"] == 2
+        assert cost["flaps"] == 1
+        assert cost["moves"] > 0
+        assert cost["bytes"] > 0
+        assert cost["transfer_sim_s"] > 0.0
+
+    def test_adaptive_floor_rises_then_relaxes(self, results):
+        """Asserted from the JSON artifact, as the CI job consumes it."""
+        payload = json.loads(BENCH_PATH.read_text())
+        events = payload["scenarios"]["adaptive"]["floor_events"]
+        kinds = [kind for _it, kind, _floor in events]
+        assert "failure" in kinds
+        burst_start = KILL_BURST[0][0]
+        risen = [floor for it, kind, floor in events
+                 if kind == "failure" and it >= burst_start]
+        assert risen and max(risen) >= 2  # K rose after the kill burst
+        relaxes = [floor for it, kind, floor in events
+                   if kind == "relax" and it > burst_start]
+        assert relaxes  # ... and relaxed again after quiet
+        assert events[-1][1] == "relax"
+        assert events[-1][2] == 1  # back at the resting floor
+
+    def test_recovery_latency_vs_static_k(self, results):
+        payload = json.loads(BENCH_PATH.read_text())
+        latency = payload["recovery_latency_s"]
+        assert len(latency["static_kills"]) == 2
+        assert len(latency["adaptive"]) == 2
+        assert all(value > 0 for series in latency.values()
+                   for value in series)

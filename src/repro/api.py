@@ -70,6 +70,11 @@ def make_engine(graph: Graph, algorithm: str | VertexProgram,
                 num_standby: int = 1,
                 seed: int = 2014,
                 data_scale: float = 1.0,
+                ft_level_min: int | None = None,
+                ft_level_max: int | None = None,
+                heartbeat_interval_s: float | None = None,
+                heartbeat_misses: int | None = None,
+                membership: Any = (),
                 algorithm_kwargs: dict[str, Any] | None = None,
                 cluster: Cluster | None = None,
                 tracer: Tracer | None = None) -> Engine:
@@ -84,6 +89,14 @@ def make_engine(graph: Graph, algorithm: str | VertexProgram,
     original dataset's scale (see
     :attr:`repro.costmodel.CostModel.data_scale`); benchmarks pass the
     stand-in's downscale factor here.
+
+    ``ft_level_min`` / ``ft_level_max`` (replication only) open an
+    adaptive replication-floor band around ``ft_level`` (DESIGN.md
+    §14); ``heartbeat_interval_s`` / ``heartbeat_misses`` override the
+    failure detector's tuning, and ``membership`` schedules elastic
+    events as ``(iteration, kind, target)`` or
+    ``(iteration, kind, target, count)`` tuples with kind one of
+    ``join`` / ``drain`` / ``flap``.
     """
     if isinstance(ft_mode, str):
         ft_mode = FTMode(ft_mode)
@@ -91,9 +104,15 @@ def make_engine(graph: Graph, algorithm: str | VertexProgram,
         recovery = RecoveryStrategy(recovery)
     if isinstance(partition, str):
         partition = PartitionStrategy(partition)
+    cluster_kwargs: dict[str, Any] = {}
+    if heartbeat_interval_s is not None:
+        cluster_kwargs["heartbeat_interval_s"] = heartbeat_interval_s
+    if heartbeat_misses is not None:
+        cluster_kwargs["heartbeat_misses"] = heartbeat_misses
+    replication = ft_mode is FTMode.REPLICATION
     job = JobConfig(
         cluster=ClusterConfig(num_nodes=num_nodes, num_standby=num_standby,
-                              seed=seed),
+                              seed=seed, **cluster_kwargs),
         engine=EngineConfig(partition=partition,
                             max_iterations=max_iterations,
                             batch_syncs=batch_syncs,
@@ -101,13 +120,14 @@ def make_engine(graph: Graph, algorithm: str | VertexProgram,
                             vectorized=vectorized),
         ft=FaultToleranceConfig(
             mode=ft_mode,
-            ft_level=ft_level if ft_mode is FTMode.REPLICATION else 0,
+            ft_level=ft_level if replication else 0,
+            ft_level_min=ft_level_min if replication else None,
+            ft_level_max=ft_level_max if replication else None,
             recovery=recovery,
             checkpoint_interval=checkpoint_interval,
             checkpoint_in_memory=checkpoint_in_memory,
             safety_checkpoint_interval=(
-                safety_checkpoint_interval
-                if ft_mode is FTMode.REPLICATION else 0),
+                safety_checkpoint_interval if replication else 0),
             selfish_optimization=selfish_optimization),
     )
     if cluster is None and data_scale != 1.0:
@@ -118,7 +138,13 @@ def make_engine(graph: Graph, algorithm: str | VertexProgram,
         cluster = Cluster(job.cluster, cost_model=model,
                           store_in_memory=job.ft.checkpoint_in_memory)
     program = make_program(algorithm, graph, **(algorithm_kwargs or {}))
-    return Engine(graph, program, job=job, cluster=cluster, tracer=tracer)
+    engine = Engine(graph, program, job=job, cluster=cluster, tracer=tracer)
+    for event in membership:
+        iteration, kind, target = event[0], event[1], event[2]
+        count = event[3] if len(event) > 3 else 1
+        engine.schedule_membership(iteration, kind, target=target,
+                                   count=count)
+    return engine
 
 
 def run_job(graph: Graph, algorithm: str | VertexProgram,

@@ -12,21 +12,25 @@ from repro.chaos.controller import (ChaosController, IDEMPOTENT_KINDS,
                                     PHASE_ORDER)
 from repro.chaos.invariants import (InvariantChecker,
                                     InvariantViolation,
+                                    MembershipInvariant,
                                     ReadConsistencyChecker)
 from repro.chaos.oracle import (OracleReport, run_differential,
                                 run_with_chaos, values_close)
-from repro.chaos.schedule import (ChaosEvent, CRASH_PHASES, EVENT_PHASES,
-                                  FailureSchedule, TARGET_PREDICATES)
+from repro.chaos.schedule import (ChaosEvent, CRASH_PHASES, EVENT_KINDS,
+                                  EVENT_PHASES, FailureSchedule,
+                                  TARGET_PREDICATES)
 
 __all__ = [
     "ChaosController",
     "ChaosEvent",
     "CRASH_PHASES",
+    "EVENT_KINDS",
     "EVENT_PHASES",
     "FailureSchedule",
     "IDEMPOTENT_KINDS",
     "InvariantChecker",
     "InvariantViolation",
+    "MembershipInvariant",
     "OracleReport",
     "PHASE_ORDER",
     "ReadConsistencyChecker",

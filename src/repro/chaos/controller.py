@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING
 
 from repro.chaos.schedule import ChaosEvent, FailureSchedule
 from repro.cluster.network import Message, MessageKind
+from repro.errors import ConfigError
 from repro.utils.rng import SeededRng
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -93,18 +94,36 @@ class ChaosController:
                     and PHASE_ORDER[event.phase] <= PHASE_ORDER[phase]):
                 self._fire(engine, idx, event)
 
-    # -- crash firing ----------------------------------------------------
+    # -- event firing ----------------------------------------------------
 
     def _fire(self, engine: "Engine", idx: int, event: ChaosEvent) -> None:
         self._fired.add(idx)
-        targets = self.resolve_targets(engine, event)
-        for node in targets:
-            engine.cluster.crash(node)
-        engine.tracer.instant("chaos.crash", cat="chaos",
+        if event.kind == "join":
+            targets = engine.request_join(event.count)
+        else:
+            targets = self.resolve_targets(engine, event)
+            for node in targets:
+                if event.kind == "crash":
+                    engine.cluster.crash(node)
+                elif event.kind == "flap":
+                    engine.flap_node(node)
+                else:  # drain
+                    try:
+                        engine.request_drain(node)
+                    except ConfigError as err:
+                        # A random schedule can ask for an impossible
+                        # drain (target already transitioning, or the
+                        # last eligible node); skip it, visibly.
+                        self.log.append(
+                            f"it={engine.iteration} {event.describe()} "
+                            f"skipped: {err}")
+                        return
+        engine.tracer.instant(f"chaos.{event.kind}", cat="chaos",
                               iteration=engine.iteration,
                               phase=event.phase, targets=targets)
-        engine.metrics.inc("chaos.crash_events")
-        engine.metrics.inc("chaos.crashed_nodes", len(targets))
+        engine.metrics.inc(f"chaos.{event.kind}_events")
+        if event.kind == "crash":
+            engine.metrics.inc("chaos.crashed_nodes", len(targets))
         self.log.append(
             f"it={engine.iteration} {event.describe()} -> {targets}")
 
@@ -114,7 +133,17 @@ class ChaosController:
         least one worker survives the event."""
         if event.target == "standby":
             return engine.cluster.standby_nodes()[:event.count]
+        if event.target == "leader":
+            leader = engine.recovery_leader
+            return [leader] if leader in engine._alive() else []
         candidates = engine._alive()
+        if event.kind == "drain":
+            # Only settled members can start draining, and at least one
+            # other eligible node must remain to absorb the masters.
+            candidates = [n for n in candidates
+                          if engine.cluster.read_eligible(n)]
+            if len(candidates) < 2:
+                return []
         if isinstance(event.target, int):
             return [event.target] if event.target in candidates else []
         count = min(event.count, len(candidates) - 1)

@@ -124,7 +124,10 @@ class InvariantChecker:
 
     def _check_replication(self, engine: "Engine", alive: list[int],
                            phase: str) -> None:
-        k = engine.job.ft.ft_level
+        # Under an adaptive floor policy the yardstick is the floor the
+        # control plane currently *enforces* (risen repair has actually
+        # completed), not the static configured K (DESIGN.md §14).
+        k = engine.enforced_ft_floor
         alive_set = set(alive)
         for gid in range(engine.graph.num_vertices):
             node = engine.master_node_of[gid]
@@ -204,6 +207,92 @@ class InvariantChecker:
                     self._fail(phase, f"vertex {slot.gid}: activity "
                                       f"changed but no re-broadcast is "
                                       f"queued on node {node}")
+
+
+class MembershipInvariant:
+    """Elastic-membership invariant checker (DESIGN.md §14).
+
+    Attached as a chaos plugin; at every commit point (``post_commit``
+    and ``post_recovery``) it asserts the membership layer left the
+    cluster in a self-consistent state:
+
+    * **Retirement is clean** — a retired node hosts no local graph and
+      appears in no master's replica metadata;
+    * **Exactly one master** — every vertex has exactly one master slot
+      across all hosted local graphs, on an alive node, matching the
+      engine's ``master_node_of`` index;
+    * **Floor coverage** — every vertex has at least
+      ``min(enforced_floor + 1, eligible_nodes)`` copies, where the
+      enforced floor is what the adaptive policy currently promises;
+    * **Routing eligibility** — transitioning (joining or draining) and
+      retired nodes are never read-eligible.
+    """
+
+    def __init__(self, context: str = ""):
+        self.context = context
+        #: Number of commit-point sweeps performed.
+        self.checks = 0
+
+    def on_phase(self, engine: "Engine", phase: str) -> None:
+        if phase in ("post_commit", "post_recovery"):
+            self.check_all(engine, phase)
+
+    def _fail(self, phase: str, message: str) -> None:
+        suffix = f" [{self.context}]" if self.context else ""
+        raise InvariantViolation(f"[{phase}] {message}{suffix}")
+
+    def check_all(self, engine: "Engine", phase: str = "manual") -> None:
+        self.checks += 1
+        cluster = engine.cluster
+        for node in engine.local_graphs:
+            if node in cluster._retired:
+                self._fail(phase, f"retired node {node} still hosts a "
+                                  f"local graph")
+        for node in cluster._transitioning | cluster._retired:
+            if cluster.read_eligible(node):
+                self._fail(phase, f"node {node} is transitioning or "
+                                  f"retired but still read-eligible")
+        # Exactly one master per vertex, where the engine thinks it is.
+        owner: dict[int, int] = {}
+        for node, lg in engine.local_graphs.items():
+            if not cluster.node(node).is_alive:
+                continue
+            for slot in lg.iter_masters():
+                if slot.gid in owner:
+                    self._fail(phase, f"vertex {slot.gid}: masters on "
+                                      f"both node {owner[slot.gid]} and "
+                                      f"node {node}")
+                owner[slot.gid] = node
+        for gid in range(engine.graph.num_vertices):
+            node = owner.get(gid)
+            if node is None:
+                self._fail(phase, f"vertex {gid}: no master on any "
+                                  f"alive node")
+            if engine.master_node_of[gid] != node:
+                self._fail(phase, f"vertex {gid}: master hosted on node "
+                                  f"{node} but master_node_of says "
+                                  f"{engine.master_node_of[gid]}")
+        if engine.job.ft.mode is not FTMode.REPLICATION:
+            return
+        floor = engine.enforced_ft_floor
+        eligible = sum(1 for n in engine.local_graphs
+                       if cluster.placement_eligible(n))
+        need = min(floor + 1, max(1, eligible))
+        for node, lg in engine.local_graphs.items():
+            if not cluster.node(node).is_alive:
+                continue
+            for slot in lg.iter_masters():
+                copies = 1 + len(slot.meta.replica_positions)
+                if copies < need:
+                    self._fail(
+                        phase,
+                        f"vertex {slot.gid}: {copies} copies, the "
+                        f"current floor ({floor}) needs {need}")
+                for rnode in slot.meta.replica_positions:
+                    if rnode in cluster._retired:
+                        self._fail(phase,
+                                   f"vertex {slot.gid}: replica "
+                                   f"recorded on retired node {rnode}")
 
 
 class ReadConsistencyChecker:

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.chaos.controller import ChaosController
-from repro.chaos.invariants import InvariantChecker
+from repro.chaos.invariants import InvariantChecker, MembershipInvariant
 from repro.chaos.schedule import FailureSchedule
 from repro.engine.engine import RunResult
 
@@ -90,6 +90,8 @@ def run_with_chaos(graph, algorithm, schedule: FailureSchedule, *,
     if check_invariants:
         checker = InvariantChecker(context=context)
         engine.attach_chaos(checker)
+        if schedule.has_membership_events:
+            engine.attach_chaos(MembershipInvariant(context=context))
     result = engine.run()
     return result, controller, checker
 

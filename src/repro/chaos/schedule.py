@@ -45,15 +45,21 @@ CRASH_PHASES = ("after_commit", "superstep_start", "gather", "sync",
 #: failure set, Section 5.3.2).
 EVENT_PHASES = CRASH_PHASES + ("recovery", "recovery_protocol")
 #: Target predicates resolved against live engine state at fire time.
+#: ``leader`` resolves to the current recovery leader (meaningful in
+#: ``recovery``/``recovery_protocol`` phases, where one is elected).
 TARGET_PREDICATES = ("random", "most-loaded", "least-loaded",
-                     "mirror-heaviest", "standby")
+                     "mirror-heaviest", "standby", "leader")
+#: Event kinds: fail-stop ``crash``, transient ``flap`` (heartbeats
+#: missed, node returns below the death budget), and the elastic
+#: membership events ``join``/``drain`` (DESIGN.md §14).
+EVENT_KINDS = ("crash", "flap", "join", "drain")
 #: Message-fault actions the network understands.
 MESSAGE_ACTIONS = ("drop", "duplicate", "delay")
 
 
 @dataclass(frozen=True)
 class ChaosEvent:
-    """One fail-stop crash injection point."""
+    """One fault-injection point (crash, flap, join or drain)."""
 
     #: Engine iteration at which the event fires (for ``after_commit``
     #: this is the iteration *about to run*, matching
@@ -63,17 +69,34 @@ class ChaosEvent:
     phase: str = "gather"
     #: A concrete node id, or a predicate from :data:`TARGET_PREDICATES`.
     target: int | str = "random"
-    #: Number of nodes crashed simultaneously by this event.
+    #: Number of nodes crashed / flapped / joined by this event.
     count: int = 1
+    #: One of :data:`EVENT_KINDS`.
+    kind: str = "crash"
 
     def __post_init__(self) -> None:
         if self.iteration < 0:
             raise ConfigError(
                 f"event iteration must be >= 0, got {self.iteration}")
+        if self.kind not in EVENT_KINDS:
+            raise ConfigError(
+                f"unknown chaos event kind {self.kind!r}; "
+                f"choices: {EVENT_KINDS}")
         if self.phase not in EVENT_PHASES:
             raise ConfigError(
                 f"unknown chaos phase {self.phase!r}; "
                 f"choices: {EVENT_PHASES}")
+        if self.kind in ("join", "drain"):
+            # Membership changes only happen at commit barriers; the
+            # after_commit hook is the first one past the barrier.
+            if self.phase != "after_commit":
+                raise ConfigError(
+                    f"{self.kind} events fire at commit barriers; use "
+                    f"phase 'after_commit', not {self.phase!r}")
+            if self.iteration < 1:
+                raise ConfigError(
+                    f"{self.kind} events need a preceding commit; "
+                    f"iteration must be >= 1")
         if self.count < 1:
             raise ConfigError(f"event count must be >= 1, got {self.count}")
         if isinstance(self.target, str) \
@@ -83,7 +106,9 @@ class ChaosEvent:
                 f"choices: {TARGET_PREDICATES}")
 
     def describe(self) -> str:
-        return (f"crash(it={self.iteration}, {self.phase}, "
+        if self.kind == "join":
+            return f"join(it={self.iteration}, ×{self.count})"
+        return (f"{self.kind}(it={self.iteration}, {self.phase}, "
                 f"{self.target}×{self.count})")
 
 
@@ -110,6 +135,30 @@ class FailureSchedule:
         self.events.append(ChaosEvent(iteration, phase, target, count))
         return self
 
+    def flap(self, iteration: int, *, phase: str = "superstep_start",
+             target: int | str = "random",
+             count: int = 1) -> "FailureSchedule":
+        """Add a transient flap: the target misses heartbeats but
+        returns below the death budget (no recovery, delta resync)."""
+        self.events.append(
+            ChaosEvent(iteration, phase, target, count, kind="flap"))
+        return self
+
+    def join(self, iteration: int, *, count: int = 1) -> "FailureSchedule":
+        """Admit ``count`` fresh nodes at the commit barrier preceding
+        ``iteration`` (elastic scale-out)."""
+        self.events.append(ChaosEvent(iteration, "after_commit",
+                                      "random", count, kind="join"))
+        return self
+
+    def drain(self, iteration: int, *,
+              target: int | str = "most-loaded") -> "FailureSchedule":
+        """Drain and retire a node, starting at the commit barrier
+        preceding ``iteration`` (elastic scale-in)."""
+        self.events.append(ChaosEvent(iteration, "after_commit",
+                                      target, 1, kind="drain"))
+        return self
+
     def with_message_faults(self, *, duplicate: float = 0.0,
                             delay: float = 0.0,
                             drop: float = 0.0) -> "FailureSchedule":
@@ -128,8 +177,15 @@ class FailureSchedule:
     @property
     def total_crashes(self) -> int:
         """Worker crashes over the whole schedule (sizes the standby
-        pool for Rebirth / checkpoint recovery)."""
-        return sum(e.count for e in self.events if e.target != "standby")
+        pool for Rebirth / checkpoint recovery).  Flaps and membership
+        events never consume a spare."""
+        return sum(e.count for e in self.events
+                   if e.kind == "crash" and e.target != "standby")
+
+    @property
+    def has_membership_events(self) -> bool:
+        return any(e.kind in ("flap", "join", "drain")
+                   for e in self.events)
 
     @property
     def message_faults_enabled(self) -> bool:

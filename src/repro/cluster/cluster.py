@@ -44,6 +44,22 @@ class Cluster:
         self.clocks = NodeClocks(len(self.nodes))
         for nid in range(n):
             self.coordination.register(nid)
+        #: Monotonic membership epoch, bumped whenever the set of
+        #: read-eligible workers changes (join/drain start, retirement,
+        #: join completion).  Serve-layer routing caches key off it so
+        #: reads never land on a draining or half-joined node
+        #: (DESIGN.md §14).
+        self.membership_epoch = 0
+        #: Workers admitted mid-run (elastic scale-out).
+        self._joined: set[int] = set()
+        #: Workers currently being drained (masters moving off) or
+        #: still receiving state (joining); not read-eligible.
+        self._transitioning: set[int] = set()
+        #: The draining subset of ``_transitioning`` (may not receive
+        #: new replica placements).
+        self._draining: set[int] = set()
+        #: Workers retired after a completed drain.
+        self._retired: set[int] = set()
 
     # -- views -------------------------------------------------------------
 
@@ -79,7 +95,105 @@ class Cluster:
 
     @property
     def num_workers(self) -> int:
+        """Initially provisioned worker-id space (load-time constant).
+
+        Elastic membership admits workers *above* this id range (and
+        above the standby pool); use :meth:`expected_workers` for the
+        current population and :meth:`alive_workers` for liveness.
+        """
         return self.config.num_nodes
+
+    def expected_workers(self) -> int:
+        """Workers currently expected to participate in computation."""
+        return (self.config.num_nodes + len(self._joined)
+                - len(self._retired))
+
+    def read_eligible(self, node_id: int) -> bool:
+        """Whether the serve layer may route a read to this node.
+
+        Draining nodes are mid-scale-in (their masters are moving off),
+        joining nodes are mid-scale-out (state still arriving) and
+        retired nodes are gone — none may serve reads (DESIGN.md §14).
+        """
+        return (node_id not in self._transitioning
+                and node_id not in self._retired
+                and self._node_is_alive(node_id))
+
+    def placement_eligible(self, node_id: int) -> bool:
+        """Whether new replica copies may be placed on this node.
+
+        Draining and retired nodes must not receive state (it would be
+        moved right back off); joining nodes are fine — they are
+        receiving state anyway.
+        """
+        return (self._node_is_alive(node_id)
+                and node_id not in self._draining
+                and node_id not in self._retired)
+
+    # -- elastic membership (DESIGN.md §14) ------------------------------
+
+    def join_node(self) -> int:
+        """Admit a fresh worker node mid-run (elastic scale-out).
+
+        The node id is allocated above every existing node (workers,
+        spares, earlier joiners), registered in the barrier group and
+        marked *transitioning* until the membership layer finishes
+        moving state onto it.  Returns the new node id.
+        """
+        nid = max(self.nodes) + 1
+        self.nodes[nid] = Node(nid, cores=self.config.cores_per_node)
+        while len(self.clocks) <= nid:
+            self.clocks.add_node(self.clocks.global_max())
+        self.coordination.register(nid)
+        self._joined.add(nid)
+        self._transitioning.add(nid)
+        self.membership_epoch += 1
+        return nid
+
+    def begin_drain(self, node_id: int) -> None:
+        """Mark a worker as draining (masters will move off it)."""
+        node = self.node(node_id)
+        node.check_alive("drain")
+        if node_id in self._retired:
+            raise ClusterError(f"node {node_id} is already retired")
+        self._transitioning.add(node_id)
+        self._draining.add(node_id)
+        self.membership_epoch += 1
+
+    def finish_join(self, node_id: int) -> None:
+        """A joining node finished receiving state; it is now a full,
+        read-eligible worker."""
+        self._transitioning.discard(node_id)
+        self.membership_epoch += 1
+
+    def abort_transition(self, node_id: int) -> None:
+        """Abandon an in-flight join or drain whose target crashed.
+
+        The crash makes the transition moot — the failure detector and
+        recovery own the node now.  Bookkeeping is cleared so routing
+        eligibility reflects liveness alone.
+        """
+        self._transitioning.discard(node_id)
+        self._draining.discard(node_id)
+        self.membership_epoch += 1
+
+    def retire_node(self, node_id: int) -> None:
+        """Complete a drain: deregister and retire the node.
+
+        Must only be called once every master and replica copy has been
+        moved off — retirement is planned removal, never a failure, so
+        the detector forgets the id and no recovery runs.
+        """
+        node = self.node(node_id)
+        self.coordination.deregister(node_id)
+        node.retire()
+        self.detector.forget(node_id)
+        self.network.purge_from(node_id)
+        self.network.purge_inbox(node_id)
+        self._transitioning.discard(node_id)
+        self._draining.discard(node_id)
+        self._retired.add(node_id)
+        self.membership_epoch += 1
 
     # -- failure injection ----------------------------------------------
 

@@ -11,10 +11,21 @@ In the simulation the detector both *injects* crashes (from a
 *observes* them; its contribution to simulated time is the detection
 delay ``interval * misses`` added once per failure event, matching the
 ~7 s detection span visible in the paper's case study (Fig. 12).
+
+Flap tolerance (DESIGN.md §14): on top of the binary dead/alive
+verdict the detector keeps a per-node *suspicion level* — consecutive
+missed heartbeats over the miss budget.  A node that misses beats but
+returns below the budget was *flapping*, not dead: its suspicion is
+cleared, its flap counter advances, and the membership layer
+re-integrates it with a delta sync instead of a full rebirth.  The
+statistics (miss rates, flap counts, inter-failure gaps) feed the
+adaptive replication-floor policy and are surfaced by the engine as
+``ft.suspicion.node.N`` gauges.
 """
 
 from __future__ import annotations
 
+from collections import defaultdict
 from typing import Callable, Iterable
 
 from repro.cluster.node import Node
@@ -40,11 +51,64 @@ class FailureDetector:
         self.misses = misses
         self._members = members
         self._known_failed: set[int] = set()
+        #: node -> consecutive missed heartbeats (0 = healthy).
+        self._missed: dict[int, int] = defaultdict(int)
+        #: node -> completed flap episodes (missed beats, then returned).
+        self._flaps: dict[int, int] = defaultdict(int)
+        #: node -> total heartbeats missed over the job (miss rate input).
+        self._missed_total: dict[int, int] = defaultdict(int)
+        #: Failure-event timeline (engine iterations) for inter-failure
+        #: statistics; appended by :meth:`record_failure_event`.
+        self.failure_iterations: list[int] = []
 
     @property
     def detection_delay_s(self) -> float:
         """Simulated time between a crash and its safe declaration."""
         return self.interval_s * self.misses
+
+    # -- suspicion / flap statistics ------------------------------------
+
+    def record_flap(self, node_id: int, beats: int | None = None) -> int:
+        """Record one flap episode: ``beats`` missed heartbeats followed
+        by a return *below* the death budget.
+
+        Suspicion rises to the missed-beat count and immediately clears
+        (the node answered again); the flap counter and cumulative miss
+        totals advance.  Returns the number of beats charged, clamped so
+        a flap can never cross the declared-dead threshold.
+        """
+        if beats is None:
+            beats = max(1, self.misses // 2)
+        beats = max(1, min(beats, self.misses - 1))
+        self._missed[node_id] = 0  # returned: consecutive run broken
+        self._missed_total[node_id] += beats
+        self._flaps[node_id] += 1
+        return beats
+
+    def suspicion_level(self, node_id: int) -> float:
+        """Current suspicion in ``[0, 1]``: consecutive missed beats
+        over the miss budget (1.0 = declared dead)."""
+        node = self._nodes.get(node_id)
+        if node is not None and node.is_crashed:
+            return 1.0
+        return min(1.0, self._missed[node_id] / self.misses)
+
+    def flap_count(self, node_id: int) -> int:
+        return self._flaps[node_id]
+
+    def record_failure_event(self, iteration: int, count: int = 1) -> None:
+        """Log a confirmed failure event (inter-failure-time input)."""
+        self.failure_iterations.extend([iteration] * count)
+
+    def stats(self) -> dict[str, dict[int, float] | list[int]]:
+        """Detector statistics consumed by the adaptive-floor policy."""
+        return {
+            "suspicion": {nid: self.suspicion_level(nid)
+                          for nid in self._nodes},
+            "flaps": dict(self._flaps),
+            "missed_total": dict(self._missed_total),
+            "failure_iterations": list(self.failure_iterations),
+        }
 
     def poll(self) -> set[int]:
         """Return the set of members currently observed as crashed.
@@ -59,8 +123,10 @@ class FailureDetector:
         for nid, node in self._nodes.items():
             if node.is_crashed:
                 failed.add(nid)
+                self._missed[nid] = self.misses
             elif node.is_alive:
                 self._known_failed.discard(nid)
+                self._missed[nid] = 0
         if self._members is not None:
             failed &= set(self._members())
         return failed
@@ -75,3 +141,4 @@ class FailureDetector:
     def forget(self, node_id: int) -> None:
         """Clear a node's failed record (after a slot is re-used)."""
         self._known_failed.discard(node_id)
+        self._missed[node_id] = 0

@@ -24,6 +24,10 @@ class NodeState(enum.Enum):
     CRASHED = "crashed"
     #: Hot spare, not yet participating (Rebirth target).
     STANDBY = "standby"
+    #: Drained and deliberately removed from the cluster (elastic
+    #: scale-in, DESIGN.md §14).  Unlike CRASHED, retirement is planned:
+    #: all state was moved off first, so no recovery ever runs for it.
+    RETIRED = "retired"
 
 
 class Node:
@@ -63,6 +67,17 @@ class Node:
     @property
     def is_standby(self) -> bool:
         return self.state is NodeState.STANDBY
+
+    @property
+    def is_retired(self) -> bool:
+        return self.state is NodeState.RETIRED
+
+    def retire(self) -> None:
+        """Planned removal after a drain (no state left to lose)."""
+        if self.state is not NodeState.ALIVE:
+            raise NodeCrashedError(self.node_id, "retire")
+        self.state = NodeState.RETIRED
+        self.local = None
 
     def crash(self) -> None:
         """Fail-stop: lose all volatile state and stop responding."""

@@ -12,6 +12,18 @@ from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
 
+#: Default heartbeat tuning for the *multiprocessing* backend, in
+#: **wall-clock** seconds.  The simulator's defaults
+#: (:attr:`ClusterConfig.heartbeat_interval_s` = 0.5 sim-seconds with
+#: :attr:`ClusterConfig.heartbeat_misses` = 14, the paper's ~7 s
+#: detection span) model the paper's testbed; real forked workers are
+#: polled much faster but with a far larger miss budget, because a
+#: worker busy inside a compute round legitimately goes silent for many
+#: polls.  Both backends resolve their defaults from this one module —
+#: there is no second hardcoded tuning surface (DESIGN.md §14).
+MP_HEARTBEAT_INTERVAL_S = 0.2
+MP_HEARTBEAT_MISSES = 150
+
 
 class PartitionStrategy(enum.Enum):
     """Graph partitioning strategies implemented by :mod:`repro.partition`."""
@@ -114,6 +126,30 @@ class FaultToleranceConfig:
     #: the fallback ladder can recover from >K simultaneous failures by
     #: reloading the snapshot instead of aborting (DESIGN.md §9).
     safety_checkpoint_interval: int = 0
+    #: Adaptive replication floor bounds (DESIGN.md §14).  When the
+    #: bounds differ from ``ft_level`` an :class:`repro.membership.FtPolicy`
+    #: raises/lowers the *effective* K inside ``[ft_level_min,
+    #: ft_level_max]`` from observed failure statistics, driving a
+    #: throttled background repair.  ``None`` pins both bounds to
+    #: ``ft_level`` (static K — the paper's behaviour, and the default).
+    ft_level_min: int | None = None
+    ft_level_max: int | None = None
+
+    @property
+    def floor_min(self) -> int:
+        """Lower bound of the effective replication floor."""
+        return self.ft_level if self.ft_level_min is None else self.ft_level_min
+
+    @property
+    def floor_max(self) -> int:
+        """Upper bound of the effective replication floor."""
+        return self.ft_level if self.ft_level_max is None else self.ft_level_max
+
+    @property
+    def adaptive_ft(self) -> bool:
+        """Whether the adaptive-floor policy is enabled."""
+        return (self.mode is FTMode.REPLICATION
+                and self.floor_min != self.floor_max)
 
     def __post_init__(self) -> None:
         if self.ft_level < 0:
@@ -131,6 +167,18 @@ class FaultToleranceConfig:
             raise ConfigError(
                 "safety_checkpoint_interval only applies to REPLICATION "
                 "mode (CHECKPOINT mode already snapshots)")
+        if self.ft_level_min is not None or self.ft_level_max is not None:
+            if self.mode is not FTMode.REPLICATION:
+                raise ConfigError(
+                    "ft_level_min/ft_level_max only apply to REPLICATION "
+                    "mode")
+            if self.floor_min < 1:
+                raise ConfigError("ft_level_min must be >= 1")
+            if not self.floor_min <= self.ft_level <= self.floor_max:
+                raise ConfigError(
+                    f"ft_level {self.ft_level} must lie inside "
+                    f"[ft_level_min={self.floor_min}, "
+                    f"ft_level_max={self.floor_max}]")
 
 
 @dataclass(frozen=True)
@@ -181,4 +229,9 @@ class JobConfig:
                 raise ConfigError(
                     f"ft_level {self.ft.ft_level} needs at least "
                     f"{self.ft.ft_level + 1} nodes, cluster has "
+                    f"{self.cluster.num_nodes}")
+            if self.ft.floor_max >= self.cluster.num_nodes:
+                raise ConfigError(
+                    f"ft_level_max {self.ft.floor_max} needs at least "
+                    f"{self.ft.floor_max + 1} nodes, cluster has "
                     f"{self.cluster.num_nodes}")

@@ -58,6 +58,8 @@ from repro.ft.edge_ckpt import EdgeCkptStore, EdgeRecord
 from repro.ft.recovery import RecoveryOutcome, RecoveryStats
 from repro.ft.replication import plan_replication
 from repro.graph.graph import Graph
+from repro.membership.election import elect_leader
+from repro.membership.policy import FtPolicy
 from repro.obs import NULL_TRACER, MetricsRegistry, Tracer
 from repro.partition.base import make_partitioner
 
@@ -101,6 +103,10 @@ class RunResult:
     #: Fallback-ladder usage: rung name -> times it handled a failure
     #: the first-choice mechanism could not.
     fallbacks: dict[str, int] = field(default_factory=dict)
+    #: Elastic-membership surface (DESIGN.md §14): joins/drains
+    #: completed, masters moved, transfer bytes, adaptive-floor event
+    #: log; empty for static runs.
+    membership: dict[str, Any] = field(default_factory=dict)
 
     def avg_iteration_time_s(self) -> float:
         times = [s.sim_time_s - s.checkpoint_s for s in self.iteration_stats]
@@ -269,6 +275,24 @@ class Engine:
         #: :meth:`_update_ft_gauges`.
         self._ft_level_current = 0
         self._ft_degraded = False
+        # -- elastic membership + adaptive FT (DESIGN.md §14) ---------
+        #: Created lazily on the first join/drain request; ``None`` for
+        #: static clusters.
+        self._membership = None
+        #: Scheduled membership events: (iteration, kind, target, count).
+        self._membership_schedule: list[tuple[int, str, Any, int]] = []
+        #: Nodes that flapped since the last commit barrier; delta
+        #: re-synced at the next ``post_commit`` (inboxes are empty
+        #: there, so the resync cannot race in-flight superstep syncs).
+        self._flapped_pending: list[int] = []
+        #: Adaptive replication-floor controller, active only when the
+        #: config declares a [ft_level_min, ft_level_max] band.
+        self._ft_policy = (FtPolicy(self.job.ft)
+                           if self.job.ft.adaptive_ft else None)
+        #: Leader-elected recovery coordination: the current recovery
+        #: leader and its term (bumped per election).
+        self.recovery_leader = -1
+        self.leader_term = 0
         self._init_values()
         self._update_ft_gauges()
 
@@ -310,9 +334,94 @@ class Engine:
         nodes = tuple(int(n) for n in
                       (nodes if hasattr(nodes, "__iter__") else (nodes,)))
         for n in nodes:
-            if n < 0 or n >= self.cluster.num_workers:
+            # Elastically joined workers live above num_workers but are
+            # legitimate crash targets once they host a local graph.
+            if n < 0 or (n >= self.cluster.num_workers
+                         and n not in self.local_graphs):
                 raise EngineError(f"cannot schedule failure of node {n}")
         self._failures.append(_ScheduledFailure(iteration, nodes, phase))
+
+    # -- elastic membership + adaptive FT (DESIGN.md §14) -------------
+
+    @property
+    def membership(self):
+        """The :class:`MembershipManager`, or None for static runs."""
+        return self._membership
+
+    @property
+    def effective_ft_floor(self) -> int:
+        """The replication floor repair currently *targets*."""
+        if self._ft_policy is not None:
+            return self._ft_policy.floor_target
+        return self.job.ft.ft_level
+
+    @property
+    def enforced_ft_floor(self) -> int:
+        """The floor invariants and gauges hold the cluster to.
+
+        With an adaptive policy this rises only as background repair
+        actually completes (``min(target, achieved)``); otherwise it is
+        the static configured K.
+        """
+        if self._ft_policy is not None:
+            return self._ft_policy.floor_enforced
+        return self.job.ft.ft_level
+
+    def _require_membership(self):
+        if self._membership is None:
+            from repro.membership.manager import MembershipManager
+            self._membership = MembershipManager(self)
+        return self._membership
+
+    def request_join(self, count: int = 1) -> list[int]:
+        """Admit ``count`` fresh worker nodes (elastic scale-out).
+
+        Must be called at a commit-barrier boundary (use
+        :meth:`schedule_membership` from inside a run).  State transfer
+        is throttled over the following barriers.
+        """
+        return self._require_membership().request_join(count)
+
+    def request_drain(self, node: int) -> None:
+        """Begin draining ``node``; it retires once emptied."""
+        self._require_membership().request_drain(node)
+
+    def schedule_membership(self, iteration: int, kind: str,
+                            target: int | None = None,
+                            count: int = 1) -> None:
+        """Schedule an elastic-membership event for a running job.
+
+        ``kind`` is ``"join"``, ``"drain"`` or ``"flap"``.  Joins and
+        drains apply at the commit barrier *of* ``iteration``; a flap
+        stalls its target for that iteration's superstep.
+        """
+        if kind not in ("join", "drain", "flap"):
+            raise EngineError(f"unknown membership event kind: {kind}")
+        if kind in ("drain", "flap") and target is None:
+            raise EngineError(f"membership event {kind!r} needs a target")
+        self._membership_schedule.append(
+            (int(iteration), kind, target, int(count)))
+
+    def flap_node(self, node: int) -> None:
+        """Transient stall: the node misses heartbeats but returns
+        below the death budget, so it is never declared failed.
+
+        The stall is charged to the node's clock; the detector's flap
+        statistics feed the adaptive floor policy; re-integration is a
+        *delta sync* at the next commit barrier (no rebirth, no
+        recovery protocol).
+        """
+        detector = self.cluster.detector
+        beats = detector.record_flap(node)
+        self.cluster.clocks.advance(node, beats * detector.interval_s)
+        self._flapped_pending.append(node)
+        if self._ft_policy is not None:
+            self._ft_policy.on_flap(self.iteration)
+        self.metrics.inc("membership.flaps")
+        self.metrics.set_gauge(f"ft.suspicion.node.{node}",
+                               detector.suspicion_level(node))
+        self.tracer.instant("membership.flap", cat="membership",
+                            node=node, stalled_beats=beats)
 
     def run(self, max_iterations: int | None = None) -> RunResult:
         """Execute the job to completion (Algorithm 1).
@@ -323,6 +432,7 @@ class Engine:
         """
         limit = max_iterations or self.job.engine.max_iterations
         while self.iteration < limit:
+            self._fire_membership_events("superstep_start")
             self._inject("compute")
             with self.tracer.span("superstep", cat="superstep",
                                   iteration=self.iteration) as sp:
@@ -342,6 +452,7 @@ class Engine:
                     self._recover(failed)
                 continue
             self._chaos_point("post_commit")
+            self._membership_pump()
             self.iteration += 1
             if self._halted and self.job.engine.halt_on_inactive:
                 self.tracer.instant("halt", cat="engine",
@@ -825,7 +936,8 @@ class Engine:
         # Finalise active flags for the touched slots.
         for node in alive:
             lg = self.local_graphs[node]
-            stale = proto.finalize_commit(lg, self._dirty[node])
+            stale = proto.finalize_commit(lg, self._dirty[node],
+                                          self.iteration)
             if stale:
                 self._broadcast_pending[node].update(stale)
         return sum(len(self.local_graphs[n].active_masters)
@@ -852,11 +964,234 @@ class Engine:
         self.metrics.set_gauge("engine.syncs_elided", self.syncs_elided)
         self.metrics.set_gauge("engine.active_masters", total_active)
         self.metrics.set_gauge("engine.iteration", self.iteration)
+        # Per-node suspicion levels (flap-tolerant detection surface):
+        # 0.0 for a healthy node, rising with consecutive missed beats,
+        # 1.0 for a confirmed crash.
+        detector = self.cluster.detector
+        for nid in sorted(self.cluster.coordination.members):
+            self.metrics.set_gauge(f"ft.suspicion.node.{nid}",
+                                   detector.suspicion_level(nid))
         self.metrics.snapshot(iteration=self.iteration, sim_clock_s=post)
 
     def _leave_barrier(self) -> tuple[int, ...]:
         """Post-commit failure check (Algorithm 1, line 16)."""
         return tuple(sorted(self.cluster.detector.newly_failed()))
+
+    # ------------------------------------------------------------------
+    # elastic membership + adaptive FT pumps (DESIGN.md §14)
+    # ------------------------------------------------------------------
+
+    def _fire_membership_events(self, phase: str) -> None:
+        """Fire scheduled membership events due at this phase."""
+        if not self._membership_schedule:
+            return
+        due_phase = {"flap": "superstep_start", "join": "post_commit",
+                     "drain": "post_commit"}
+        rest: list[tuple[int, str, Any, int]] = []
+        for item in self._membership_schedule:
+            it, kind, target, count = item
+            if it != self.iteration or due_phase[kind] != phase:
+                rest.append(item)
+                continue
+            if kind == "join":
+                self.request_join(count)
+            elif target is not None \
+                    and self.cluster.node(target).is_alive:
+                if kind == "flap":
+                    self.flap_node(target)
+                else:
+                    self.request_drain(target)
+        self._membership_schedule = rest
+
+    def _membership_pump(self) -> None:
+        """Post-commit membership work, in dependency order: scheduled
+        joins/drains fire, flapped nodes delta-resync, the transfer
+        pump advances, then the adaptive-floor policy runs its
+        throttled repair against the settled layout."""
+        self._fire_membership_events("post_commit")
+        if self._flapped_pending:
+            self._flap_resync()
+        if self._membership is not None and self._membership.active:
+            with self.tracer.span("membership.pump", cat="membership",
+                                  iteration=self.iteration):
+                self._membership.pump()
+        if self._ft_policy is not None:
+            self._policy_pump()
+
+    def _flap_resync(self) -> None:
+        """Delta re-integration of flapped nodes (DESIGN.md §14).
+
+        Runs at the commit barrier after the flap, when inboxes are
+        empty: every master elsewhere whose value committed this
+        superstep re-pushes it to the copies the flapped node hosts.
+        The sync also travelled the normal path — the flap never lost
+        it — so the rewrite is value-neutral and results stay
+        bit-identical to a flap-free run; only traffic and simulated
+        time move.  Active *flags* are deliberately left alone: a
+        replica holds the flag its master last broadcast, which the
+        master may have elided, and overwriting it would diverge from
+        the flap-free run.
+        """
+        flapped = sorted({n for n in self._flapped_pending
+                          if self.cluster.node(n).is_alive})
+        self._flapped_pending = []
+        if not flapped:
+            return
+        if self._vec is not None:
+            self._vec.flush()
+        net = self.cluster.network
+        net.begin_step()
+        alive = self._alive()
+        flap_set = set(flapped)
+        records = 0
+        for node in alive:
+            if node in flap_set:
+                continue
+            lg = self.local_graphs[node]
+            outbox: dict = {}
+            for slot in lg.iter_masters():
+                if slot.last_update_iter < self.committed_iteration:
+                    continue
+                for target in flap_set:
+                    if target not in slot.meta.replica_positions:
+                        continue
+                    key = (target, MessageKind.RECOVERY)
+                    batch = outbox.get(key)
+                    if batch is None:
+                        batch = outbox[key] = SyncBatch(full_state=True)
+                    batch.append(slot.gid, slot.value,
+                                 self.program.value_nbytes(slot.value),
+                                 slot.last_activates,
+                                 slot.mirror_self_active)
+                    records += 1
+            self._flush_batches(node, outbox)
+        for target in flapped:
+            lg = self.local_graphs[target]
+            for msg in net.deliver(target):
+                batch = msg.payload
+                for i, gid in enumerate(batch.gids):
+                    slot = lg.slot_of(gid)
+                    slot.value = batch.values[i]
+                    slot.last_activates = batch.activates(i)
+                    if slot.is_mirror:
+                        slot.mirror_self_active = batch.self_active(i)
+        for node in alive:
+            self.cluster.clocks.advance(node, pairwise_comm_time(
+                self.model, net.step_bytes, net.step_msgs, node))
+        post = self.cluster.clocks.barrier(self.model, alive)
+        self._last_barrier_clock = post
+        self.metrics.inc("membership.flap_resync_records", records)
+        self.tracer.instant("membership.flap_resync", cat="membership",
+                            nodes=flapped, records=records)
+
+    def _policy_pump(self) -> None:
+        """Adaptive-floor control loop, once per commit barrier.
+
+        Ticks the policy's quiet clock, scans for masters below the
+        target floor, repairs up to the policy's throttled allowance
+        and reports progress back (which drives the backoff ladder and
+        circuit breaker).
+        """
+        policy = self._ft_policy
+        assert policy is not None
+        policy.on_barrier(self.iteration)
+        alive = self._alive()
+        if not alive:
+            return
+        target = policy.floor_target
+        deficit: list[int] = []
+        for node in alive:
+            for slot in self.local_graphs[node].iter_masters():
+                meta = slot.meta
+                if min(len(meta.mirror_nodes),
+                       len(meta.replica_positions)) < target:
+                    deficit.append(slot.gid)
+        if deficit:
+            allowance = policy.repair_allowance()
+            if allowance > 0:
+                self._policy_repair(policy, sorted(deficit)[:allowance],
+                                    target, alive)
+        # Re-derive the achieved floor from what masters actually have.
+        achieved = target
+        for node in alive:
+            for slot in self.local_graphs[node].iter_masters():
+                meta = slot.meta
+                achieved = min(achieved, len(meta.mirror_nodes),
+                               len(meta.replica_positions))
+            if achieved <= 0:
+                break
+        policy.floor_achieved = achieved
+        self._update_ft_gauges()
+
+    def _policy_repair(self, policy, batch: list[int], target: int,
+                       alive: list[int]) -> None:
+        """One throttled background-repair round toward ``target``."""
+        from repro.ft import _recovery_common as common
+        if self._vec is not None:
+            # Write deferred column commits back and drop the caches:
+            # repair snapshots master slots and adds new copies
+            # underneath them (same contract as MembershipManager.pump).
+            self._vec.rollback()
+        net = self.cluster.network
+        net.begin_step()
+        created, bytes_sent = common.restore_ft_level(
+            self, batch, "adaptive-repair", k=target)
+        still = 0
+        for gid in batch:
+            meta = self.local_graphs[
+                self.master_node_of[gid]].slot_of(gid).meta
+            if min(len(meta.mirror_nodes),
+                   len(meta.replica_positions)) < target:
+                still += 1
+        policy.repair_result(len(batch), len(batch) - still)
+        if created:
+            scale = self.model.data_scale
+            repair_s = (created * self.model.per_vertex_reconstruct_s
+                        * scale / max(1, len(alive))
+                        + self.model.recovery_round_s)
+            for node in alive:
+                self.cluster.clocks.advance(node, pairwise_comm_time(
+                    self.model, net.step_bytes, net.step_msgs, node))
+                self.cluster.clocks.advance(node, repair_s)
+            post = self.cluster.clocks.barrier(self.model, alive)
+            self._last_barrier_clock = post
+            for lg in self.local_graphs.values():
+                lg.invalidate_soa()
+        self.metrics.inc("ft.policy.repair_rounds")
+        self.metrics.inc("ft.policy.repair_replicas", created)
+        self.metrics.inc("ft.policy.repair_bytes", bytes_sent)
+        self.tracer.instant("ft.policy.repair", cat="recovery",
+                            batch=len(batch), created=created,
+                            unrepaired=still, target=target)
+
+    def _elect_recovery_leader(self) -> None:
+        """Elect the coordinator for this recovery term (DESIGN.md §14).
+
+        Deterministic and seeded, so every backend elects the same
+        node from the same live set without exchanging votes; one
+        coordination round is charged to every participant.  The leader
+        is pure coordination — recovery's data flow stays decentralised
+        per the paper — but restart ordering is leader-first, and a
+        chaos schedule can target ``"leader"`` to kill it mid-recovery
+        (which simply forces a re-election with a bumped term).
+        """
+        alive = self._alive()
+        if not alive:
+            return
+        self.leader_term += 1
+        self.recovery_leader = elect_leader(alive, self.seed,
+                                            self.leader_term)
+        for node in alive:
+            self.cluster.clocks.advance(node, self.model.recovery_round_s)
+        self.metrics.set_gauge("ft.leader", self.recovery_leader)
+        self.metrics.set_gauge("ft.leader_term", self.leader_term)
+        self.tracer.instant("recovery.leader", cat="recovery",
+                            leader=self.recovery_leader,
+                            term=self.leader_term)
+
+    def _leader_alive(self) -> bool:
+        node = self.cluster.nodes.get(self.recovery_leader)
+        return node is not None and node.is_alive
 
     # ------------------------------------------------------------------
     # failures and recovery
@@ -896,6 +1231,10 @@ class Engine:
         # barrier boundaries, where no pending staging exists).
         if self._vec is not None:
             self._vec.rollback()
+        # Elect the coordinator for this recovery term before the
+        # chaos hook, so a schedule targeting "leader" can kill it
+        # mid-recovery (DESIGN.md §14).
+        self._elect_recovery_leader()
         # A crash while recovery is in progress is detected before the
         # protocol commits and handled as one larger simultaneous
         # failure (Section 5.3.2: failures during recovery restart
@@ -904,6 +1243,12 @@ class Engine:
         extra = self.cluster.detector.newly_failed()
         if extra:
             failed = tuple(sorted(set(failed) | set(extra)))
+            if not self._leader_alive():
+                self._elect_recovery_leader()
+        self.cluster.detector.record_failure_event(self.iteration,
+                                                   len(failed))
+        if self._ft_policy is not None:
+            self._ft_policy.on_failure(self.iteration, len(failed))
         mode = self.job.ft.mode
         detection = self.cluster.detector.detection_delay_s
         alive = self._alive()
@@ -939,6 +1284,10 @@ class Engine:
             failed = tuple(sorted(
                 set(extra) | {n for n in failed
                               if self.cluster.node(n).is_crashed}))
+            # A dead leader cannot coordinate the restarted protocol:
+            # re-elect under a fresh term before the next ladder pass.
+            if not self._leader_alive():
+                self._elect_recovery_leader()
             self.metrics.inc("recovery.restarts")
             self.tracer.instant("recovery.restart", cat="recovery",
                                 failed_nodes=list(failed))
@@ -1083,7 +1432,7 @@ class Engine:
         state instead of silent under-protection.
         """
         from repro.ft import _recovery_common as common
-        k = self.job.ft.ft_level
+        k = self.effective_ft_floor
         if self.job.ft.mode is not FTMode.REPLICATION or k <= 0:
             self._update_ft_gauges()
             return
@@ -1102,7 +1451,7 @@ class Engine:
             created, bytes_sent = 0, 0
             if deficit:
                 created, bytes_sent = common.restore_ft_level(
-                    self, sorted(deficit), "recovery-repair")
+                    self, sorted(deficit), "recovery-repair", k=k)
             # Cost: parallel per-node master scan, plus replica state
             # transfer and one coordination round when work was done.
             scale = self.model.data_scale
@@ -1129,8 +1478,20 @@ class Engine:
         self._update_ft_gauges()
 
     def _update_ft_gauges(self) -> None:
-        """Publish the degraded-mode surface (DESIGN.md §9)."""
-        k = self.job.ft.ft_level
+        """Publish the degraded-mode surface (DESIGN.md §9).
+
+        With an adaptive policy the yardstick is the *enforced* floor
+        (``min(target, achieved)``) — degradation is measured against
+        what the control plane currently promises, not the static K.
+        """
+        if self._ft_policy is not None:
+            self.metrics.set_gauge("ft.policy.floor_target",
+                                   self._ft_policy.floor_target)
+            self.metrics.set_gauge("ft.policy.floor_enforced",
+                                   self._ft_policy.floor_enforced)
+            self.metrics.set_gauge("ft.policy.breaker_open",
+                                   self._ft_policy.breaker_open)
+        k = self.enforced_ft_floor
         if self.job.ft.mode is not FTMode.REPLICATION or k <= 0:
             self._ft_level_current = 0
             self._ft_degraded = False
@@ -1343,7 +1704,26 @@ class Engine:
 
     def _result(self) -> RunResult:
         totals = self.cluster.network.totals
+        membership: dict[str, Any] = {}
+        if self._membership is not None or self._ft_policy is not None:
+            mm = self._membership
+            detector = self.cluster.detector
+            membership = {
+                "epoch": self.cluster.membership_epoch,
+                "moves": mm.moves_total if mm else 0,
+                "bytes": mm.bytes_total if mm else 0,
+                "transfer_sim_s": mm.transfer_sim_s if mm else 0.0,
+                "joins": (sum(1 for op in mm.completed
+                              if op.kind == "join") if mm else 0),
+                "drains": (sum(1 for op in mm.completed
+                               if op.kind == "drain") if mm else 0),
+                "flaps": sum(detector.stats()["flaps"].values()),
+                "leader_term": self.leader_term,
+                "floor_events": (list(self._ft_policy.events)
+                                 if self._ft_policy else []),
+            }
         return RunResult(
+            membership=membership,
             algorithm=self.program.name,
             num_iterations=self.iteration,
             values=self.values(),

@@ -108,6 +108,21 @@ class BackendSpec:
     #: hashable.
     algorithm_kwargs: tuple = ()
     failures: tuple = ()
+    #: Elastic-membership schedule (DESIGN.md §14): sorted
+    #: ``(iteration, kind, target)`` or ``(iteration, kind, target,
+    #: count)`` tuples with kind one of ``join`` / ``drain`` / ``flap``
+    #: (``target`` is ignored for joins — pass ``None``).
+    membership: tuple = ()
+    #: Adaptive replication-floor band (replication mode only); both
+    #: ``None`` keeps the static ``ft_level`` floor.
+    ft_level_min: int | None = None
+    ft_level_max: int | None = None
+    #: Failure-detector tuning overrides; ``None`` keeps each backend's
+    #: default (the simulator's ``ClusterConfig`` values, or the
+    #: multiprocessing backend's wall-clock-calibrated
+    #: ``MP_HEARTBEAT_*`` constants from :mod:`repro.config`).
+    heartbeat_interval_s: float | None = None
+    heartbeat_misses: int | None = None
     #: Sorted ``(key, value)`` pairs configuring the online
     #: read-serving layer (DESIGN.md §13); empty = no serving.  Keys
     #: mix :class:`repro.serve.workload.OpenLoopWorkload` arguments
@@ -142,6 +157,11 @@ class BackendSpec:
             "num_standby": self.num_standby,
             "seed": self.seed,
             "algorithm_kwargs": dict(self.algorithm_kwargs),
+            "membership": self.membership,
+            "ft_level_min": self.ft_level_min,
+            "ft_level_max": self.ft_level_max,
+            "heartbeat_interval_s": self.heartbeat_interval_s,
+            "heartbeat_misses": self.heartbeat_misses,
         }
 
 

@@ -26,20 +26,44 @@ The chaos schedule (``BackendSpec.failures``) delivers real
 ``SIGKILL``s.  Death is detected by the coordinator's heartbeat loop —
 ``multiprocessing.connection.wait`` over worker pipes *and* process
 sentinels, with consecutive-miss counting as the hang guard.  A death
-inside a compute round aborts the iteration on the survivors (staged
-state is discarded) and the iteration is redone after recovery, so no
-partial superstep ever commits; a death between iterations recovers in
-place.  Recovery is the rebirth rung only: a replacement worker is
+inside a compute round — or anywhere up to the finalize round of the
+commit exchange, since nothing commits before ``finalize_commit`` —
+aborts the iteration on the survivors (staged state is discarded) and
+the iteration is redone after recovery, bounded by
+``max_iteration_retries`` redos per iteration; a death between
+iterations recovers in place.  Only a death inside the finalize round
+itself is unrecoverable (some workers may already have committed).
+Recovery elects a recovery leader with the simulator's seeded election
+(bookkeeping parity; the coordinator still drives the protocol).
+Recovery is the rebirth rung only: a replacement worker is
 forked from the pristine parent engine, survivors ship the replication
 state they hold for the dead rank (mirror copies preferred, lowest
 surviving rank breaking ties), the replacement's masters are
 conservatively reactivated, and — under vertex-cut — every rank's next
 phase-0 broadcast is forced so activity flags re-converge.
 
+Elastic membership
+------------------
+``BackendSpec.membership`` events run at the same logical points as on
+the simulator — flaps at superstep start, joins and drains after the
+commit barrier of their iteration.  A flap is a real ``SIGSTOP`` /
+``SIGCONT`` stall of the worker process, absorbed by the heartbeat
+loop's consecutive-miss counting (flap tolerance: a slow worker is not
+a dead worker).  Joins and drains run as a stop-the-world
+**fullstate reshape-restart**: the coordinator pulls every rank's
+committed master state into the parent engine, replays the change
+through the simulator's own :class:`~repro.membership.manager.
+MembershipManager` (same Fennel plan seed, so the resulting placement
+matches the simulator's), and re-forks every worker from the reshaped
+parent.  Values are untouched throughout — the cross-backend oracle
+compares elastic runs bit-for-bit.
+
 Scope limits (rejected specs raise :class:`BackendError`): fork start
 method required, edge-mutating programs unsupported, ``ft_mode`` must
-be ``none``/``replication``, recovery must be ``rebirth``, and batched
-syncs are mandatory (the wire format is the batch).
+be ``none``/``replication``, recovery must be ``rebirth``, batched
+syncs are mandatory (the wire format is the batch), and joins/drains
+need replication over an edge-cut partitioning (the simulator's
+``check_supported`` contract).
 """
 
 from __future__ import annotations
@@ -53,11 +77,13 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.api import make_engine
+from repro.config import MP_HEARTBEAT_INTERVAL_S, MP_HEARTBEAT_MISSES
 from repro.engine.messages import ActivateBatch
 from repro.engine.vertex_program import ApplyContext
 from repro.errors import UnrecoverableFailureError
 from repro.exec.base import (BackendError, BackendRunResult, BackendSpec,
                              ExecutionBackend)
+from repro.membership.election import elect_leader
 from repro.exec.protocol import NodeProtocol
 from repro.exec.serialize import (decode_batch, encode_batch,
                                   encoded_nbytes, encoded_records)
@@ -246,7 +272,7 @@ def _worker_main(rank: int, conn, close_conns, engine) -> None:
             it = frame[1]
             for _src, enc in frame[2]:
                 proto.apply_activations(lg, decode_batch(enc).gids, dirty)
-            stale = proto.finalize_commit(lg, dirty)
+            stale = proto.finalize_commit(lg, dirty, it)
             pending_broadcast.update(stale)
             dirty = {}
             conn.send(("committed", it, len(lg.active_masters)))
@@ -291,6 +317,16 @@ def _worker_main(rank: int, conn, close_conns, engine) -> None:
         elif tag == "values":
             conn.send(("values_done",
                        {slot.gid: slot.value for slot in lg.iter_masters()}))
+        elif tag == "fullstate":
+            # Committed full state of every local master — the
+            # coordinator writes it back into the parent engine before a
+            # membership reshape (only ever sent at a commit barrier, so
+            # no pending fields exist).
+            conn.send(("fullstate_done",
+                       [(slot.gid, slot.value, slot.last_activates,
+                         slot.last_update_iter, slot.mirror_self_active,
+                         slot.active, slot.replicas_known_active)
+                        for slot in lg.iter_masters()]))
         elif tag == "shutdown":
             return
         else:  # pragma: no cover - protocol bug guard
@@ -431,7 +467,8 @@ class _MpReadServer:
         # in the ranking — the explicit-degradation contract.
         topk_degraded = (force_degraded or bool(dead)
                          or bool(self.engine.selfish_read_fence)
-                         or len(alive) < self.engine.cluster.num_workers)
+                         or len(alive)
+                         < self.engine.cluster.expected_workers())
         for query, plan in zip(queries, plans):
             if query.kind == TOPK:
                 resp = ReadResponse(
@@ -463,8 +500,13 @@ class MultiprocessingBackend(ExecutionBackend):
 
     name = "multiprocessing"
 
-    def __init__(self, heartbeat_s: float = 0.2,
-                 heartbeat_misses: int = 150):
+    #: Redo budget per iteration for deaths caught before the finalize
+    #: round (compute and commit stage 1 are abortable); exceeding it is
+    #: a structured :class:`BackendError`, not a silent loop.
+    max_iteration_retries = 3
+
+    def __init__(self, heartbeat_s: float = MP_HEARTBEAT_INTERVAL_S,
+                 heartbeat_misses: int = MP_HEARTBEAT_MISSES):
         self.heartbeat_s = heartbeat_s
         self.heartbeat_misses = heartbeat_misses
         self._ctx = None
@@ -600,6 +642,79 @@ class MultiprocessingBackend(ExecutionBackend):
                 raise BackendError(f"worker {rank} survived SIGKILL")
         return killed
 
+    def _flap(self, rank: int) -> None:
+        """Stall one worker with SIGSTOP/SIGCONT — a real slow-node
+        flap.  The heartbeat loop's consecutive-miss counting absorbs
+        the stall (flap tolerance: a slow worker is not a dead one)."""
+        worker = self._workers.get(rank)
+        if worker is None or not worker.proc.is_alive():
+            return
+        os.kill(worker.proc.pid, signal.SIGSTOP)
+        try:
+            time.sleep(min(2 * self.heartbeat_s, 0.5))
+        finally:
+            os.kill(worker.proc.pid, signal.SIGCONT)
+        self._flaps += 1
+
+    # -- elastic membership ----------------------------------------------
+
+    def _sync_parent_from_workers(self) -> None:
+        """Pull every rank's committed master state into the parent.
+
+        Replica/mirror copies on the parent take the master's committed
+        state too — at a barrier under sync elision every copy already
+        agrees with its master, so this reproduces exactly the workers'
+        copy state (copies hold the flag the master last broadcast,
+        ``replicas_known_active``).
+        """
+        alive = sorted(self._workers)
+        for rank in alive:
+            self._send(rank, ("fullstate",))
+        frames = self._collect("fullstate_done", None, alive)
+        engine = self._engine
+        for rank in alive:
+            lg = engine.local_graphs[rank]
+            for gid, value, la, lui, msa, active, rka in frames[rank][1]:
+                slot = lg.slot_of(gid)
+                slot.value = value
+                slot.last_activates = la
+                slot.last_update_iter = lui
+                slot.mirror_self_active = msa
+                slot.replicas_known_active = rka
+                lg.set_active(slot, active)
+                for node, is_mirror in slot.meta.sync_targets():
+                    copy_lg = engine.local_graphs[node]
+                    copy = copy_lg.slot_of(gid)
+                    copy.value = value
+                    copy.last_activates = la
+                    copy.last_update_iter = lui
+                    if is_mirror:
+                        copy.mirror_self_active = msa
+                    copy_lg.set_active(copy, rka)
+
+    def _reshape(self, events: list[tuple[str, Any, int]]) -> None:
+        """Stop-the-world join/drain at a commit barrier.
+
+        State flows workers -> parent, the membership change replays
+        through the simulator's own :class:`MembershipManager` (same
+        plan seed, so placement matches the simulator's), and every
+        worker re-forks from the reshaped parent.
+        """
+        engine = self._engine
+        self._sync_parent_from_workers()
+        for kind, target, count in events:
+            if kind == "join":
+                engine.request_join(count)
+            else:
+                engine.request_drain(int(target))
+        manager = engine._require_membership()
+        while manager.active:
+            manager.pump()
+        self.close()
+        for rank in sorted(engine.local_graphs):
+            self._spawn_worker(rank)
+        self._reshapes += 1
+
     # -- recovery --------------------------------------------------------
 
     def _abort_survivors(self, iteration: int, survivors) -> None:
@@ -636,6 +751,13 @@ class MultiprocessingBackend(ExecutionBackend):
         """
         dead_sorted = sorted(dead)
         survivors = sorted(set(self._workers) - dead)
+        # Seeded recovery-leader election — the simulator's bookkeeping,
+        # so both backends report comparable leadership terms (the
+        # coordinator process still drives the protocol itself).
+        if survivors:
+            self._leader_term += 1
+            self._leader = elect_leader(survivors, spec.seed,
+                                        self._leader_term)
         for rank in dead_sorted:
             worker = self._workers.pop(rank)
             worker.proc.join(timeout=1.0)
@@ -753,13 +875,13 @@ class MultiprocessingBackend(ExecutionBackend):
 
     # -- the run loop ----------------------------------------------------
 
-    def _validate(self, spec: BackendSpec, program) -> None:
+    def _validate(self, spec: BackendSpec, engine) -> None:
         import multiprocessing
 
         if "fork" not in multiprocessing.get_all_start_methods():
             raise BackendError(
                 "multiprocessing backend needs the fork start method")
-        if program.mutates_edges:
+        if engine.program.mutates_edges:
             raise BackendError(
                 "edge-mutating programs are not supported on the "
                 "multiprocessing backend")
@@ -775,13 +897,30 @@ class MultiprocessingBackend(ExecutionBackend):
                 "the multiprocessing backend always batches syncs "
                 "(the wire format is the batch)")
         for iteration, _ranks, phase in spec.failures:
-            if phase not in ("compute", "after_commit"):
+            if phase not in ("compute", "commit", "after_commit"):
                 raise BackendError(
                     f"unsupported failure phase {phase!r}")
             if iteration >= spec.max_iterations:
                 raise BackendError(
                     f"failure scheduled at iteration {iteration} beyond "
                     f"max_iterations {spec.max_iterations}")
+        for event in spec.membership:
+            kind = event[1]
+            if kind not in ("join", "drain", "flap"):
+                raise BackendError(
+                    f"unknown membership event kind {kind!r}")
+            if event[0] >= spec.max_iterations:
+                raise BackendError(
+                    f"membership event at iteration {event[0]} beyond "
+                    f"max_iterations {spec.max_iterations}")
+            if kind in ("drain", "flap") and event[2] is None:
+                raise BackendError(f"{kind} events need a target rank")
+            if kind in ("join", "drain"):
+                if spec.ft_mode != "replication" \
+                        or not engine.is_edge_cut:
+                    raise BackendError(
+                        "joins and drains need replication over an "
+                        "edge-cut partitioning")
 
     def run(self, graph, spec: BackendSpec) -> BackendRunResult:
         import multiprocessing
@@ -793,38 +932,71 @@ class MultiprocessingBackend(ExecutionBackend):
         # state irrelevant, so it is not built at all.
         kwargs = spec.engine_kwargs()
         kwargs["vectorized"] = False
+        # Membership replays through the parent engine's own manager at
+        # reshape points — never via the engine's scheduled events (the
+        # parent runs no supersteps to pump them).
+        kwargs["membership"] = ()
         engine = make_engine(graph, **kwargs)
-        self._validate(spec, engine.program)
+        self._validate(spec, engine)
+        if spec.heartbeat_interval_s is not None:
+            self.heartbeat_s = spec.heartbeat_interval_s
+        if spec.heartbeat_misses is not None:
+            self.heartbeat_misses = spec.heartbeat_misses
         self._ctx = multiprocessing.get_context("fork")
         self._engine = engine
         self._standby_left = spec.num_standby
         self._rebirths = 0
+        self._reshapes = 0
+        self._flaps = 0
+        self._leader = -1
+        self._leader_term = 0
         serve_cfg = spec.serve_config()
         self._serve = None
         if serve_cfg is not None:
             workload = workload_from_config(graph.num_vertices, serve_cfg)
             self._serve = _MpReadServer(self, engine, workload, serve_cfg)
         kills_pending = {"compute": defaultdict(set),
+                         "commit": defaultdict(set),
                          "after_commit": defaultdict(set)}
         for iteration, ranks, phase in spec.failures:
             kills_pending[phase][iteration].update(ranks)
+        flaps_pending: dict[int, list[int]] = defaultdict(list)
+        reshape_pending: dict[int, list] = defaultdict(list)
+        for event in spec.membership:
+            iteration, kind, target = event[0], event[1], event[2]
+            count = event[3] if len(event) > 3 else 1
+            if kind == "flap":
+                flaps_pending[iteration].append(int(target))
+            else:
+                reshape_pending[iteration].append((kind, target, count))
 
         book = _TrafficBook()
         elided_total = 0
         completed = 0
         halted = False
+        retries: dict[int, int] = defaultdict(int)
         start = time.perf_counter()
         try:
             for rank in sorted(engine.local_graphs):
                 self._spawn_worker(rank)
             while completed < spec.max_iterations:
                 it = completed
+                for rank in flaps_pending.pop(it, []):
+                    self._flap(rank)
                 try:
                     if self._serve is not None:
                         self._serve.drain(it + 0.0, committed=it - 1)
                     active_total, elided = self._iterate(
-                        it, book, kills_pending["compute"].pop(it, set()))
+                        it, book, kills_pending["compute"].pop(it, set()),
+                        kills_pending["commit"].pop(it, set()))
                 except _WorkerDeath as death:
+                    retries[it] += 1
+                    if retries[it] > self.max_iteration_retries:
+                        raise BackendError(
+                            f"iteration {it} aborted {retries[it]} times "
+                            f"(workers {sorted(death.ranks)} last); "
+                            f"giving up after max_iteration_retries="
+                            f"{self.max_iteration_retries}") from death
                     self._recover(death.ranks, it, spec,
                                   mid_iteration=True)
                     continue  # redo the aborted iteration
@@ -834,6 +1006,9 @@ class MultiprocessingBackend(ExecutionBackend):
                 # selfish values the committed ones: the read fence
                 # closes (mirrors Engine._commit_barrier).
                 engine.selfish_read_fence.clear()
+                reshape_events = reshape_pending.pop(it, [])
+                if reshape_events:
+                    self._reshape(reshape_events)
                 if active_total == 0:
                     halted = True
                     break
@@ -852,6 +1027,21 @@ class MultiprocessingBackend(ExecutionBackend):
         extra = {"workers": len(engine.local_graphs),
                  "rebirths": self._rebirths,
                  "standby_left": self._standby_left}
+        if spec.membership or self._rebirths:
+            manager = engine._membership
+            extra["membership"] = {
+                "epoch": engine.cluster.membership_epoch,
+                "moves": manager.moves_total if manager else 0,
+                "bytes": manager.bytes_total if manager else 0,
+                "joins": sum(1 for op in manager.completed
+                             if op.kind == "join") if manager else 0,
+                "drains": sum(1 for op in manager.completed
+                              if op.kind == "drain") if manager else 0,
+                "flaps": self._flaps,
+                "reshapes": self._reshapes,
+                "leader": self._leader,
+                "leader_term": self._leader_term,
+            }
         if self._serve is not None:
             extra["serve"] = self._serve.report()
             extra["serve_responses"] = self._serve.stats.responses
@@ -870,8 +1060,8 @@ class MultiprocessingBackend(ExecutionBackend):
             failures_recovered=self._rebirths,
             extra=extra)
 
-    def _iterate(self, it: int, book: _TrafficBook,
-                 kill_now: set[int]) -> tuple[int, int]:
+    def _iterate(self, it: int, book: _TrafficBook, kill_now: set[int],
+                 kill_commit: set[int] = frozenset()) -> tuple[int, int]:
         """One full superstep across the workers; returns
         ``(active_masters_after, syncs_elided)``."""
         alive = sorted(self._workers)
@@ -911,26 +1101,34 @@ class MultiprocessingBackend(ExecutionBackend):
         if self._serve is not None:
             self._serve.drain(it + 0.5, committed=it - 1)
 
-        # Commit rounds.  An unscheduled death past this point would
-        # leave a half-committed superstep; the scheduled chaos phases
-        # never kill here, so it is a hard error, not a recovery case.
+        # Commit stage 1 stays abortable: workers only stage pending
+        # fields until the finalize round, so a death here propagates as
+        # ``_WorkerDeath`` — survivors abort, recovery runs, and the
+        # iteration is redone (bounded by ``max_iteration_retries``).
+        for rank in alive:
+            self._send(rank, ("commit", it, sync_frames[rank]))
+        if kill_commit:
+            dead = self._kill(kill_commit)
+            if dead:
+                raise _WorkerDeath(dead)
+        staged = self._collect("staged", it, alive)
+        act_frames: dict[int, list] = {r: [] for r in alive}
+        for src in sorted(staged):
+            for dst, enc in staged[src][2]:
+                book.count("activate", enc)
+                act_frames[dst].append((src, enc))
+        # The finalize round is the point of no return: once any worker
+        # processes ``commit2`` its slots flip, so a death here leaves a
+        # half-committed superstep — a hard error, not a recovery case.
         try:
-            for rank in alive:
-                self._send(rank, ("commit", it, sync_frames[rank]))
-            staged = self._collect("staged", it, alive)
-            act_frames: dict[int, list] = {r: [] for r in alive}
-            for src in sorted(staged):
-                for dst, enc in staged[src][2]:
-                    book.count("activate", enc)
-                    act_frames[dst].append((src, enc))
             for rank in alive:
                 self._send(rank, ("commit2", it, act_frames[rank]))
             committed = self._collect("committed", it, alive)
         except _WorkerDeath as death:
             raise BackendError(
-                f"workers {sorted(death.ranks)} died inside the commit "
-                f"rounds of iteration {it}; the multiprocessing backend "
-                f"only recovers failures at protocol-safe points"
+                f"workers {sorted(death.ranks)} died inside the finalize "
+                f"round of iteration {it}; the multiprocessing backend "
+                f"cannot roll back a half-committed superstep"
             ) from death
         return sum(frame[2] for frame in committed.values()), elided
 

@@ -290,20 +290,24 @@ class NodeProtocol:
 
     def commit_stage1(self, lg, dirty: dict,
                       iteration: int) -> list[tuple[int, int]]:
-        """Commit pending values and scatter local activations.
+        """Scatter local activations for the staged updates.
 
         Returns the remote activation signals this node must send, as
         ``(dst_master_node, gid)`` pairs (possibly with duplicates;
         the backend dedups globally, matching the engine's signal set).
+
+        Committed state stays untouched until :meth:`finalize_commit` —
+        everything staged here lives in pending fields and
+        ``next_active`` flags, all reverted by ``clear_pending``.  That
+        makes the whole commit exchange abortable up to the finalize
+        round: a backend that loses a worker mid-commit can abort the
+        survivors and redo the iteration bit-identically.
         """
         signals: list[tuple[int, int]] = []
         # Snapshot: activation marking adds targets to the dirty map.
         for slot in list(dirty.values()):
             if not slot.has_pending:
                 continue
-            slot.value = slot.pending_value
-            slot.last_activates = slot.pending_activates
-            slot.last_update_iter = iteration
             if slot.pending_activates:
                 for dst_pos in slot.out_edges:
                     target = lg.slots[dst_pos]
@@ -323,8 +327,10 @@ class NodeProtocol:
             slot.next_active = True
             dirty[gid] = slot
 
-    def finalize_commit(self, lg, dirty: dict) -> list[int]:
-        """Finalise active flags for the touched slots.
+    def finalize_commit(self, lg, dirty: dict,
+                        iteration: int) -> list[int]:
+        """Commit pending values and finalise active flags — the point
+        of no return of the superstep.
 
         Returns the master gids whose activity now differs from what
         their replicas believe (vertex-cut broadcast backlog; always
@@ -332,6 +338,10 @@ class NodeProtocol:
         """
         stale: list[int] = []
         for slot in dirty.values():
+            if slot.has_pending:
+                slot.value = slot.pending_value
+                slot.last_activates = slot.pending_activates
+                slot.last_update_iter = iteration
             if slot.is_master:
                 self_part = slot.has_pending and slot.pending_active
                 if slot.has_pending:

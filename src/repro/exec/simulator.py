@@ -52,6 +52,17 @@ class SimulatorBackend(ExecutionBackend):
             "ft_level_current": result.ft_level_current,
             "ft_degraded": result.ft_degraded,
         }
+        if result.membership:
+            extra["membership"] = result.membership
+        if result.recoveries:
+            extra["recoveries"] = [
+                {"strategy": r.strategy, "at_iteration": r.at_iteration,
+                 "failed_nodes": list(r.failed_nodes),
+                 "detection_s": r.detection_s,
+                 "reconstruct_s": r.reconstruct_s,
+                 "replay_s": r.replay_s, "reload_s": r.reload_s,
+                 "recovery_bytes": r.recovery_bytes}
+                for r in result.recoveries]
         if pump is not None:
             pump.finish()
             extra["serve"] = pump.server.report()

@@ -342,22 +342,27 @@ def find_lost_vertices(engine: "Engine", failed: set[int]) -> list[int]:
 
 
 def restore_ft_level(engine: "Engine", gids: list[int],
-                     seed_label: str) -> tuple[int, int]:
+                     seed_label: str, k: int | None = None
+                     ) -> tuple[int, int]:
     """Re-create FT replicas and mirrors for the given master vertices.
 
     After recovery some vertices have fewer than ``ft_level`` mirrors
     (crashed copies, promoted mirrors).  New FT replicas are placed with
     the same randomized least-loaded heuristic as loading (Section 4.1)
     and new mirrors elected; new mirrors receive the master's full
-    state.  Returns ``(replicas_created, mirror_bytes_sent)``.
+    state.  ``k`` overrides the target replication level (the adaptive
+    floor, DESIGN.md §14); the default is the engine's current effective
+    floor.  Returns ``(replicas_created, mirror_bytes_sent)``.
     """
-    k = engine.job.ft.ft_level
+    if k is None:
+        k = engine.effective_ft_floor
     if k <= 0:
         return (0, 0)
     rng = SeededRng(engine.seed, seed_label, engine.iteration)
     alive = [n for n in engine._alive()
-             if n < engine.cluster.num_workers
-             or n in engine.local_graphs]
+             if (n < engine.cluster.num_workers
+                 or n in engine.local_graphs)
+             and engine.cluster.placement_eligible(n)]
     created = 0
     bytes_sent = 0
     program = engine.program

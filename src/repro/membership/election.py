@@ -1,0 +1,35 @@
+"""Deterministic leader election for recovery coordination.
+
+The paper's recovery protocols are decentralised — every surviving
+mirror knows what to recover from its own metadata (Section 5) — but a
+cluster still needs one node to *coordinate* each recovery round:
+declare the term, order the restart (leader first), and publish the
+outcome.  A full consensus protocol would be overkill for a simulation
+whose failure detector is already authoritative, so election here is a
+seeded deterministic choice among the sorted live nodes: every node
+(and every backend) computes the same leader for the same term without
+exchanging votes, which keeps the differential oracle exact
+(DESIGN.md §14).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import ClusterError
+from repro.utils.rng import SeededRng
+
+
+def elect_leader(alive: Iterable[int], seed: int, term: int) -> int:
+    """Elect the recovery leader for one term.
+
+    Deterministic: the same ``(alive, seed, term)`` always yields the
+    same node, on every backend.  The seeded draw (rather than
+    ``min(alive)``) spreads coordination load across the cluster over
+    terms while staying reproducible.
+    """
+    members = sorted(set(int(n) for n in alive))
+    if not members:
+        raise ClusterError("cannot elect a leader from an empty cluster")
+    rng = SeededRng(seed, "leader-election", term)
+    return rng.choice(members)

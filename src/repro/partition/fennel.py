@@ -77,3 +77,83 @@ def fennel_edge_cut(graph: Graph, num_nodes: int, seed: int = 0,
                                strategy="fennel")
     part.validate(graph)
     return part
+
+
+def fennel_rebalance(graph: Graph, master_of, nodes, seed: int = 0,
+                     gamma: float = 1.5, balance_slack: float = 1.1
+                     ) -> tuple[list[int], list[tuple[int, int]]]:
+    """Incrementally restream masters onto a changed node set.
+
+    The elastic-membership counterpart of :func:`fennel_edge_cut`
+    (DESIGN.md §14): instead of restreaming the whole graph after a
+    join or drain, only the masters that *must* move do —
+
+    1. masters stranded on nodes absent from ``nodes`` (a drain) are
+       restreamed by Fennel score in a seeded order;
+    2. over-capacity nodes shed masters until they fit under
+       ``balance_slack * n / p' + 1`` (a freshly joined node starts
+       empty, so shedding is what pulls load onto it).
+
+    ``nodes`` may be non-contiguous ids (elastic joins allocate above
+    the standby pool).  Returns ``(new_master_of, moves)`` where
+    ``moves`` lists ``(vertex, new_node)`` sorted by vertex id —
+    exactly the masters whose node changed.  Deterministic under
+    ``seed``.
+    """
+    node_ids = sorted(set(int(n) for n in nodes))
+    if not node_ids:
+        raise PartitionError("rebalance target node set is empty")
+    index = {nid: i for i, nid in enumerate(node_ids)}
+    p = len(node_ids)
+    n = graph.num_vertices
+    m = graph.num_edges
+    new_master = [int(x) for x in master_of]
+    if len(new_master) != n:
+        raise PartitionError(
+            f"master_of has {len(new_master)} entries for {n} vertices")
+    if n == 0:
+        return new_master, []
+    nu = (p ** 0.5) * m / max(n ** gamma, 1.0)
+    capacity = balance_slack * n / p + 1
+    loads = np.zeros(p, dtype=np.float64)
+    for node in new_master:
+        i = index.get(node)
+        if i is not None:
+            loads[i] += 1
+    rng = SeededRng(seed, "fennel-rebalance")
+
+    def place(v: int) -> int:
+        neighbors = np.concatenate([graph.out_neighbors(v),
+                                    graph.in_neighbors(v)])
+        gain = np.zeros(p, dtype=np.float64)
+        for u in neighbors.tolist():
+            i = index.get(new_master[u])
+            if i is not None:
+                gain[i] += 1
+        score = gain - gamma * nu * np.power(loads, gamma - 1.0)
+        score[loads >= capacity] = -np.inf
+        # Total capacity strictly exceeds n, so a non-full node always
+        # exists and the argmax is never over an all -inf row.
+        return node_ids[int(np.argmax(score))]
+
+    # Phase 1: masters stranded on removed nodes must move.
+    must = [v for v in range(n) if new_master[v] not in index]
+    rng.shuffle(must)
+    for v in must:
+        dst = place(v)
+        new_master[v] = dst
+        loads[index[dst]] += 1
+    # Phase 2: shed from over-capacity nodes (joins pull load here).
+    order = list(range(n))
+    rng.shuffle(order)
+    for v in order:
+        cur = index.get(new_master[v])
+        if cur is None or loads[cur] <= capacity:
+            continue
+        loads[cur] -= 1
+        dst = place(v)
+        new_master[v] = dst
+        loads[index[dst]] += 1
+    moves = [(v, new_master[v]) for v in range(n)
+             if new_master[v] != int(master_of[v])]
+    return new_master, moves

@@ -18,6 +18,14 @@ round-robin or least-loaded policy and owns the degraded-mode policy
 * a vertex with *no* alive copy (mid-recovery, replication exhausted)
   yields a miss: ``node == -1``, always degraded.
 
+Elastic membership (DESIGN.md §14): the router tracks the cluster's
+``membership_epoch`` and rebuilds its ineligible-node set whenever the
+epoch moves, so reads are never routed to a node that is joining
+(state still arriving), draining (about to retire) or retired (local
+graph gone).  When every copy of a vertex sits on a transitioning
+node — possible for an instant mid-drain — the read falls back to the
+master, which always holds the committed value until it moves.
+
 Routing decisions are deterministic for a fixed seed and call sequence;
 per-replica load counts feed the obs registry.
 """
@@ -52,6 +60,10 @@ class ReplicaRouter:
         #: dead ranks explicitly instead.
         self._use_cluster_liveness = use_cluster_liveness
         self._rr = seed
+        #: Membership-epoch cache: the ineligible-node set is rebuilt
+        #: only when the cluster's epoch moves (DESIGN.md §14).
+        self._epoch = -1
+        self._ineligible: frozenset[int] = frozenset()
 
     # -- placement -------------------------------------------------------
 
@@ -74,6 +86,20 @@ class ReplicaRouter:
         return (not self._use_cluster_liveness
                 or self.engine.cluster.node(node).is_alive)
 
+    def membership_ineligible(self) -> frozenset[int]:
+        """Nodes no read may be routed to: joining, draining, retired.
+
+        Epoch-keyed — recomputed only when ``membership_epoch`` moves,
+        so static clusters pay one set lookup per read.
+        """
+        cluster = self.engine.cluster
+        epoch = cluster.membership_epoch
+        if epoch != self._epoch:
+            self._ineligible = frozenset(cluster._transitioning
+                                         | cluster._retired)
+            self._epoch = epoch
+        return self._ineligible
+
     # -- routing ---------------------------------------------------------
 
     def route(self, gid: int, dead=frozenset(),
@@ -95,12 +121,22 @@ class ReplicaRouter:
         alive = [n for n in candidates if self._is_alive(n, dead)]
         degraded = (force_degraded or self.engine.in_recovery
                     or len(alive) < len(candidates))
-        if not alive:
+        ineligible = self.membership_ineligible()
+        eligible = [n for n in alive if n not in ineligible]
+        if not eligible:
+            # Every copy sits on a transitioning node (possible for an
+            # instant mid-drain).  The master still holds the committed
+            # value until its move lands — serve it, tagged degraded —
+            # but never route to a node whose local graph may be gone.
+            master = candidates[0]
+            if master in alive and master not in self.engine.cluster._retired:
+                self.load[master] += 1
+                return master, True
             return MISS, True
         if self.policy == "least_loaded":
-            node = min(alive, key=lambda n: (self.load[n], n))
+            node = min(eligible, key=lambda n: (self.load[n], n))
         else:
-            node = alive[self._rr % len(alive)]
+            node = eligible[self._rr % len(eligible)]
             self._rr += 1
         self.load[node] += 1
         return node, degraded

@@ -195,9 +195,12 @@ class ReadServer:
         engine = self.engine
         # ``selfish_read_fence``: recovery-recomputed masters are still
         # in the ranking but reflect the *next* commit — partial too.
+        # ``expected_workers`` tracks elastic membership (joins grow
+        # it, retirements shrink it) so a cleanly drained node does not
+        # read as a permanently degraded cluster.
         partial = bool(dead) or bool(engine.selfish_read_fence) or (
             len(engine.cluster.alive_workers())
-            < engine.cluster.num_workers)
+            < engine.cluster.expected_workers())
         return ReadResponse(
             gid=-1, kind=TOPK, value=tuple(top),
             superstep=self.view.superstep,

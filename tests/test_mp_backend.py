@@ -238,3 +238,94 @@ class TestSpecValidation:
         with MultiprocessingBackend() as backend:
             with pytest.raises(BackendError, match="beyond"):
                 backend.run(graph, spec)
+
+
+class TestCommitRoundKill:
+    """Satellite: a worker dying inside the commit round must either be
+    absorbed by the bounded abort-and-redo retry (deaths before
+    ``finalize_commit``) or surface as a structured ``BackendError``
+    (deaths inside the finalize round) — never a hang and never silent
+    divergence."""
+
+    def test_commit_kill_retries_bit_identical(self, graph):
+        base = BackendSpec(algorithm="pagerank", num_nodes=4, ft_level=1,
+                           max_iterations=8)
+        kill = BackendSpec(algorithm="pagerank", num_nodes=4, ft_level=1,
+                           max_iterations=8,
+                           failures=((3, (1,), "commit"),))
+        reference = SimulatorBackend().run(graph, base)
+        with MultiprocessingBackend() as backend:
+            survived = backend.run(graph, kill)
+        assert survived.failures_recovered == 1
+        assert survived.values == reference.values
+        assert survived.iterations == reference.iterations
+
+    def test_retry_budget_exhaustion_is_structured(self, graph):
+        kill = BackendSpec(algorithm="pagerank", num_nodes=4, ft_level=1,
+                           max_iterations=8,
+                           failures=((3, (1,), "commit"),))
+        with MultiprocessingBackend() as backend:
+            backend.max_iteration_retries = 0
+            with pytest.raises(BackendError, match="retr"):
+                backend.run(graph, kill)
+        assert not multiprocessing.active_children()
+
+
+class TestElasticMembership:
+    """Joins, drains and flaps on the real-process backend."""
+
+    def test_flap_is_bit_identical(self, graph):
+        """SIGSTOP/SIGCONT below the death budget: the stalled worker
+        is never declared failed and values match a flap-free run."""
+        base = BackendSpec(algorithm="pagerank", num_nodes=4, ft_level=1,
+                           max_iterations=8)
+        flap = BackendSpec(algorithm="pagerank", num_nodes=4, ft_level=1,
+                           max_iterations=8,
+                           membership=((3, "flap", 2),))
+        reference = SimulatorBackend().run(graph, base)
+        with MultiprocessingBackend() as backend:
+            flapped = backend.run(graph, flap)
+        assert flapped.values == reference.values
+        assert flapped.failures_recovered == 0
+        assert flapped.extra["membership"]["flaps"] == 1
+
+    def test_join_and_drain_bit_identical_across_backends(self, graph):
+        spec = BackendSpec(algorithm="pagerank", num_nodes=4, ft_level=1,
+                           max_iterations=10, num_standby=1,
+                           membership=((2, "join", None),
+                                       (5, "drain", 1)))
+        sim = SimulatorBackend().run(graph, spec)
+        with MultiprocessingBackend() as backend:
+            mp = backend.run(graph, spec)
+        assert mp.values == sim.values
+        memb = mp.extra["membership"]
+        assert memb["joins"] == 1
+        assert memb["drains"] == 1
+        assert memb["reshapes"] == 2
+        assert memb["moves"] > 0
+
+    def test_kill_after_reshape_recovers(self, graph):
+        """A SIGKILL lands after a join reshaped the cluster: the
+        respawned topology must still recover bit-identically."""
+        base = BackendSpec(algorithm="pagerank", num_nodes=4, ft_level=1,
+                           max_iterations=10, num_standby=2)
+        churn = BackendSpec(algorithm="pagerank", num_nodes=4, ft_level=1,
+                            max_iterations=10, num_standby=2,
+                            membership=((2, "join", None),),
+                            failures=((5, (1,), "compute"),))
+        reference = SimulatorBackend().run(graph, base)
+        with MultiprocessingBackend() as backend:
+            survived = backend.run(graph, churn)
+        assert survived.failures_recovered == 1
+        assert survived.values == reference.values
+        memb = survived.extra["membership"]
+        assert memb["leader"] >= 0
+        assert memb["leader_term"] >= 1
+
+    def test_membership_requires_replication(self, graph):
+        spec = BackendSpec(algorithm="pagerank", num_nodes=4,
+                           ft_mode="none", max_iterations=6,
+                           membership=((2, "join", None),))
+        with MultiprocessingBackend() as backend:
+            with pytest.raises(BackendError, match="replication"):
+                backend.run(graph, spec)

@@ -243,3 +243,64 @@ class TestVectorizedKernelProperties:
         lg, topo = self._single_node_topo(graph)
         occ = np.flatnonzero(topo.occupied)
         assert np.array_equal(topo.translate(topo.gids[occ]), occ)
+
+
+class TestRebalanceProperties:
+    """Incremental Fennel restreaming (DESIGN.md §14): elastic joins
+    and drains must keep every master on a live node, stay deterministic
+    under the plan seed, and respect the streaming balance bound."""
+
+    @SLOW
+    @given(graph=small_graphs(), num_nodes=st.integers(2, 6),
+           seed=st.integers(0, 10), drop=st.integers(0, 1),
+           add=st.integers(0, 2))
+    def test_rebalance_lands_on_live_nodes_only(self, graph, num_nodes,
+                                                seed, drop, add):
+        from repro.partition.fennel import fennel_rebalance
+        part = hash_edge_cut(graph, num_nodes, seed=seed)
+        master_of = list(part.master_of)
+        nodes = list(range(num_nodes))
+        if drop and len(nodes) > 2:
+            nodes.remove(nodes[seed % len(nodes)])
+        # Elastic joins allocate non-contiguous ids above the pool.
+        nodes.extend(100 + i for i in range(add))
+        new_master_of, moves = fennel_rebalance(graph, master_of, nodes,
+                                                seed=seed)
+        live = set(nodes)
+        assert all(node in live for node in new_master_of)
+        assert len(new_master_of) == graph.num_vertices
+        # `moves` is exactly the delta, sorted by vertex id.
+        delta = [(gid, new_master_of[gid])
+                 for gid in range(graph.num_vertices)
+                 if new_master_of[gid] != master_of[gid]]
+        assert moves == delta
+
+    @SLOW
+    @given(graph=small_graphs(), num_nodes=st.integers(3, 6),
+           seed=st.integers(0, 10))
+    def test_rebalance_deterministic_under_seed(self, graph, num_nodes,
+                                                seed):
+        from repro.partition.fennel import fennel_rebalance
+        part = hash_edge_cut(graph, num_nodes, seed=seed)
+        master_of = list(part.master_of)
+        nodes = [n for n in range(num_nodes) if n != 0] + [100]
+        first = fennel_rebalance(graph, master_of, nodes, seed=seed)
+        second = fennel_rebalance(graph, list(master_of), list(nodes),
+                                  seed=seed)
+        assert first == second
+
+    @SLOW
+    @given(graph=small_graphs(), num_nodes=st.integers(2, 5),
+           seed=st.integers(0, 10), joins=st.integers(1, 2))
+    def test_rebalance_balance_bound(self, graph, num_nodes, seed,
+                                     joins):
+        from collections import Counter
+
+        from repro.partition.fennel import fennel_rebalance
+        part = hash_edge_cut(graph, num_nodes, seed=seed)
+        nodes = list(range(num_nodes)) + [100 + i for i in range(joins)]
+        new_master_of, _moves = fennel_rebalance(
+            graph, list(part.master_of), nodes, seed=seed)
+        loads = Counter(new_master_of)
+        capacity = 1.1 * graph.num_vertices / len(nodes) + 1
+        assert max(loads.values()) <= int(capacity) + 1
