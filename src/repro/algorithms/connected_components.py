@@ -19,6 +19,7 @@ class ConnectedComponents(VertexProgram):
 
     name = "cc"
     history_free = False  # keeps its own minimum
+    combiner = "min"
 
     def initial_value(self, vid: int, ctx: ApplyContext) -> int:
         return vid
@@ -31,6 +32,9 @@ class ConnectedComponents(VertexProgram):
         if acc is None:
             return src.value
         return src.value if src.value < acc else acc
+
+    def contribution(self, src: VertexView, weight: float, dst_vid: int):
+        return src.value
 
     def gather_sum(self, a, b):
         if a is None:

@@ -18,6 +18,7 @@ class DegreeCount(VertexProgram):
 
     name = "degree"
     history_free = True
+    combiner = "sum"
 
     def initial_value(self, vid: int, ctx: ApplyContext) -> float:
         return 0.0
@@ -28,6 +29,10 @@ class DegreeCount(VertexProgram):
     def gather(self, acc: float, src: VertexView, weight: float,
                dst_vid: int) -> float:
         return acc + weight
+
+    def contribution(self, src: VertexView, weight: float,
+                     dst_vid: int) -> float:
+        return weight
 
     def gather_sum(self, a: float, b: float) -> float:
         return (a or 0.0) + (b or 0.0)

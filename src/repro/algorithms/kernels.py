@@ -42,7 +42,10 @@ class ArrayKernel:
 
     #: numpy dtype of the vertex value column.
     dtype = np.float64
-    #: Partial-accumulator merge for vertex-cut ("sum" | "min").
+    #: Partial-accumulator merge for vertex-cut ("sum" | "min" | "max").
+    #: Doubles as the kernel's combiner declaration for the combining
+    #: layer (DESIGN.md §15) — it names the commutative-associative op
+    #: the edge fold decomposes into.
     combine = "sum"
     #: Constant wire sizes (match the program's value_nbytes/acc_nbytes).
     value_nbytes = BYTES_PER_VALUE
@@ -57,20 +60,46 @@ class ArrayKernel:
     def fold_into(self, acc: np.ndarray, seg: np.ndarray,
                   contrib: np.ndarray) -> None:
         """Scatter-fold per-edge/per-partial contributions into acc."""
-        if self.combine == "sum":
-            np.add.at(acc, seg, contrib)
-        else:
-            np.minimum.at(acc, seg, contrib)
+        from repro.engine.combine import ufunc_of
+        ufunc_of(self.combine).at(acc, seg, contrib)
 
     def edge_fold(self, topo, values: np.ndarray, esel: np.ndarray,
                   ) -> tuple[np.ndarray, np.ndarray]:
         """Fold the selected in-edges; return (acc, has_contribution)."""
+        acc, has, _ = self.edge_fold_counted(topo, values, esel)
+        return acc, has
+
+    def edge_fold_counted(self, topo, values: np.ndarray, esel: np.ndarray,
+                          ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``edge_fold`` plus the per-position contribution count.
+
+        The count column feeds the combining layer's pre-combine
+        accounting (DESIGN.md §15): position *p*'s combined partial
+        absorbed ``counts[p]`` raw per-edge contributions.
+        """
         seg, contrib = self.edge_contrib(topo, values, esel)
         acc = self.init_acc(topo.n)
         self.fold_into(acc, seg, contrib)
         has = np.zeros(topo.n, dtype=bool)
         has[seg] = True
-        return acc, has
+        counts = np.bincount(seg, minlength=topo.n).astype(np.int64) \
+            if seg.size else np.zeros(topo.n, dtype=np.int64)
+        return acc, has, counts
+
+    def fold_groups(self, counts: np.ndarray,
+                    contribs: np.ndarray) -> np.ndarray:
+        """Fold flattened contribution groups, one accumulator each.
+
+        Receiver side of the uncombined wire format: ``counts[i]``
+        contributions belong to record *i*, in shipped order.  Groups
+        with no contribution keep the fold identity — the same value
+        the sender's combined partial would have carried.
+        """
+        acc = self.init_acc(len(counts))
+        if len(contribs):
+            ridx = np.repeat(np.arange(len(counts)), counts)
+            self.fold_into(acc, ridx, np.asarray(contribs, dtype=self.dtype))
+        return acc
 
     def edge_contrib(self, topo, values: np.ndarray, esel: np.ndarray,
                      ) -> tuple[np.ndarray, np.ndarray]:

@@ -21,6 +21,7 @@ class PageRank(VertexProgram):
 
     name = "pagerank"
     history_free = True
+    combiner = "sum"
 
     def __init__(self, damping: float = 0.85):
         if not 0.0 < damping < 1.0:
@@ -38,6 +39,12 @@ class PageRank(VertexProgram):
         if src.out_degree == 0:
             return acc
         return acc + src.value / src.out_degree
+
+    def contribution(self, src: VertexView, weight: float,
+                     dst_vid: int) -> float | None:
+        if src.out_degree == 0:
+            return None
+        return src.value / src.out_degree
 
     def gather_sum(self, a: float, b: float) -> float:
         return a + b

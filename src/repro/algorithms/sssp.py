@@ -23,6 +23,7 @@ class SingleSourceShortestPath(VertexProgram):
 
     name = "sssp"
     history_free = False
+    combiner = "min"
 
     def __init__(self, source: int = 0):
         if source < 0:
@@ -42,6 +43,10 @@ class SingleSourceShortestPath(VertexProgram):
                dst_vid: int) -> float:
         candidate = src.value + weight
         return candidate if candidate < acc else acc
+
+    def contribution(self, src: VertexView, weight: float,
+                     dst_vid: int) -> float:
+        return src.value + weight
 
     def gather_sum(self, a: float, b: float) -> float:
         if a is None:

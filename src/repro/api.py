@@ -67,6 +67,7 @@ def make_engine(graph: Graph, algorithm: str | VertexProgram,
                 batch_syncs: bool = True,
                 sync_elision: bool = True,
                 vectorized: bool = True,
+                combining: bool = True,
                 num_standby: int = 1,
                 seed: int = 2014,
                 data_scale: float = 1.0,
@@ -117,7 +118,8 @@ def make_engine(graph: Graph, algorithm: str | VertexProgram,
                             max_iterations=max_iterations,
                             batch_syncs=batch_syncs,
                             sync_elision=sync_elision,
-                            vectorized=vectorized),
+                            vectorized=vectorized,
+                            combining=combining),
         ft=FaultToleranceConfig(
             mode=ft_mode,
             ft_level=ft_level if replication else 0,

@@ -154,6 +154,12 @@ class Network:
         #: the whole batch.
         self.record_fault_injector: Callable[[Message, int], str] | None = \
             None
+        #: Combining-layer accounting (DESIGN.md §15), over payloads
+        #: that declare the pre/physical record split (gather batches):
+        #: ``combine_pre`` counts the records that would have crossed
+        #: the wire uncombined, ``combine_phys`` the records that did.
+        self.combine_pre = 0
+        self.combine_phys = 0
 
     # -- metrics --------------------------------------------------------
 
@@ -262,6 +268,15 @@ class Network:
         self.metrics.inc("net.sent_bytes", wire_bytes)
         self.metrics.inc(f"net.msgs.{msg.kind.value}", records)
         self.metrics.inc(f"net.bytes.{msg.kind.value}", wire_bytes)
+        pre = getattr(msg.payload, "precombine_record_count", None)
+        if pre is not None:
+            phys = msg.payload.physical_record_count
+            self.combine_pre += pre
+            self.combine_phys += phys
+            self.metrics.inc(f"net.combine.records_pre.{msg.kind.value}",
+                             pre)
+            self.metrics.inc(f"net.combine.records_phys.{msg.kind.value}",
+                             phys)
 
     @staticmethod
     def _clone_message(msg: Message) -> Message:

@@ -208,6 +208,18 @@ class EngineConfig:
     #: without a kernel — and edge-mutating ones — always take the
     #: scalar path regardless.  Off = force the scalar loop for A/B.
     vectorized: bool = True
+    #: Message combining (DESIGN.md §15).  When the program declares a
+    #: commutative-associative ``combiner`` (sum/min/max), same-
+    #: destination-gid gather contributions fold into one partial per
+    #: (dst_node, gid) before ``Network.send`` — one combined record on
+    #: the wire, with pre-combine counts tracked in ``net.combine.*``.
+    #: Off = ship the raw per-edge contributions (``RawGatherBatch``)
+    #: and fold them on the receiver: bit-identical values and
+    #: identical *logical* traffic (the cost model is unchanged), but
+    #: ~in-degree× more physical gather records — kept as the
+    #: before-side of the message-reduction benchmark and for
+    #: differential tests.  Programs with no combiner are unaffected.
+    combining: bool = True
 
     def __post_init__(self) -> None:
         if self.max_iterations < 1:

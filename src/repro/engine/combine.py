@@ -1,0 +1,127 @@
+"""Commutative-associative combiners for the message-combining layer.
+
+A :class:`~repro.engine.vertex_program.VertexProgram` (or
+:class:`~repro.algorithms.kernels.ArrayKernel`) may declare a
+``combiner`` — one of ``"sum"``, ``"min"``, ``"max"`` — meaning its
+gather accumulation is a fold of per-edge *contributions* under that
+operator.  The combining layer (DESIGN.md §15) uses the declaration in
+two places:
+
+* **Sender side** — all same-destination-gid contributions on a node
+  fold into one partial per ``(dst_node, gid)`` before ``Network.send``
+  (this is the default wire format; it is what the engine has always
+  shipped, now made explicit and *counted*).
+* **Receiver side** — with combining disabled the raw per-edge
+  contributions travel instead
+  (:class:`~repro.engine.messages.RawGatherBatch`) and the master's
+  node folds each record's contribution group on receipt, in shipped
+  order, with the exact same scalar arithmetic.
+
+Determinism contract: every fold here is a sequential left-to-right
+fold with the accumulator as the *first* operand — ``acc = op(acc,
+contribution)`` — matching both the scalar ``program.gather`` loops and
+the ``np.ufunc.at`` index-order accumulation on the vectorized path, so
+combined and uncombined runs are bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+#: Names a program/kernel may declare in its ``combiner`` attribute.
+COMBINER_NAMES = ("sum", "min", "max")
+
+
+def _sum(acc: Any, contribution: Any) -> Any:
+    return acc + contribution
+
+
+def _min(acc: Any, contribution: Any) -> Any:
+    # Tie keeps the accumulator — identical to ``min(acc, c)`` and to
+    # the scalar programs' ``c if c < acc else acc``.
+    return contribution if contribution < acc else acc
+
+
+def _max(acc: Any, contribution: Any) -> Any:
+    return contribution if contribution > acc else acc
+
+
+#: name -> (scalar op(acc, c), unbuffered numpy scatter-fold ufunc).
+_COMBINERS: dict[str, tuple[Callable[[Any, Any], Any], np.ufunc]] = {
+    "sum": (_sum, np.add),
+    "min": (_min, np.minimum),
+    "max": (_max, np.maximum),
+}
+
+
+def scalar_op(name: str) -> Callable[[Any, Any], Any]:
+    """The scalar fold operator ``op(acc, contribution)`` for *name*."""
+    return _COMBINERS[name][0]
+
+
+def ufunc_of(name: str) -> np.ufunc:
+    """The numpy ufunc whose ``.at`` form performs the same fold."""
+    return _COMBINERS[name][1]
+
+
+def combiner_of(program: Any) -> str | None:
+    """The validated combiner declared by *program*, or ``None``.
+
+    Accepts both scalar ``VertexProgram``s and ``ArrayKernel``s (the
+    kernels call the attribute ``combine``).
+    """
+    name = getattr(program, "combiner", None)
+    if name is None:
+        name = getattr(program, "combine", None)
+    if name is None:
+        return None
+    if name not in _COMBINERS:
+        raise ValueError(
+            f"unknown combiner {name!r}; expected one of {COMBINER_NAMES}")
+    return name
+
+
+def fold_contributions(name: str, init: Any,
+                       contributions: Any) -> tuple[Any, int]:
+    """Left-to-right fold of *contributions* under combiner *name*.
+
+    Returns ``(acc, folded)`` where ``folded`` counts the non-``None``
+    contributions absorbed.  ``None`` contributions are skipped (the
+    scalar programs use ``None`` for "no contribution", e.g. a
+    zero-out-degree PageRank source); a ``None`` *init* (CC) is
+    replaced by the first contribution, exactly like the scalar gather
+    loops.
+    """
+    op = _COMBINERS[name][0]
+    acc = init
+    folded = 0
+    for c in contributions:
+        if c is None:
+            continue
+        acc = c if acc is None else op(acc, c)
+        folded += 1
+    return acc, folded
+
+
+def fold_raw_batch(batch: Any, program: Any) -> list[Any]:
+    """Receiver-side fold: one accumulator per logical record.
+
+    Folds each record's contribution group of a
+    :class:`~repro.engine.messages.RawGatherBatch` in shipped order
+    (the sender's in-edge order), starting from
+    ``program.gather_init()`` — bit-identical to the partial the
+    sender would have shipped combined.
+    """
+    name = combiner_of(program)
+    if name is None:  # pragma: no cover - senders never build raw
+        raise ValueError("raw gather batch for a program with no combiner")
+    accs: list[Any] = []
+    offset = 0
+    for count in batch.counts:
+        acc, _ = fold_contributions(
+            name, program.gather_init(), batch.contribs[offset:offset + count])
+        offset += count
+        accs.append(acc)
+    return accs

@@ -43,7 +43,7 @@ from repro.costmodel import (
     pairwise_comm_time,
 )
 from repro.engine.construction import ConstructionReport, build_local_graphs
-from repro.engine.messages import ActivateBatch, SyncBatch
+from repro.engine.messages import ActivateBatch, RawGatherBatch, SyncBatch
 from repro.engine.state import VertexSlot
 from repro.engine.vectorized import NO_COLUMN, VectorizedExecutor
 from repro.engine.vertex_program import ApplyContext, VertexProgram
@@ -94,6 +94,12 @@ class RunResult:
     total_sim_time_s: float = 0.0
     total_messages: int = 0
     total_bytes: int = 0
+    #: Combining-layer surface (DESIGN.md §15): physical gather records
+    #: saved by sender-side combining (pre-combine minus on-the-wire)
+    #: and the corresponding pre/physical ratio (1.0 when nothing was
+    #: combinable — edge-cut, no combiner, or combining off).
+    combined_records: int = 0
+    combine_ratio: float = 1.0
     halted_early: bool = False
     #: Degraded-mode surface (DESIGN.md §9): the minimum mirror count
     #: across masters at the end of the run, and whether that is below
@@ -176,6 +182,7 @@ class Engine:
             #: no-op sync elision.
             self._batch_syncs = self.job.engine.batch_syncs
             self._sync_elision = self.job.engine.sync_elision
+            self._combining = self.job.engine.combining
             #: Backend-agnostic per-node protocol (DESIGN.md §12): the
             #: scalar compute/sync/commit paths below delegate here, and
             #: the multiprocessing backend runs the same object inside
@@ -184,7 +191,8 @@ class Engine:
             self._protocol = NodeProtocol(
                 program, self.is_edge_cut,
                 sync_elision=self._sync_elision,
-                selfish_opt=False)
+                selfish_opt=False,
+                combining=self._combining)
             #: Vectorized SoA fast path (DESIGN.md §11): engaged when
             #: the config allows it AND the program declares an array
             #: kernel; edge-mutating programs always run scalar.
@@ -777,7 +785,14 @@ class Engine:
             for msg in net.deliver(node):
                 batch = msg.payload
                 bucket = partials[node]
-                for gid, acc in zip(batch.gids, batch.accs):
+                if isinstance(batch, RawGatherBatch):
+                    # Combining off: fold each record's raw contribution
+                    # group on receipt (DESIGN.md §15) — the partial the
+                    # sender would have shipped combined.
+                    accs = proto.fold_raw_gather(batch)
+                else:
+                    accs = batch.accs
+                for gid, acc in zip(batch.gids, accs):
                     bucket[gid].append((msg.src, acc))
 
         # Phase 2: masters fold partials (node-id order for
@@ -1722,6 +1737,7 @@ class Engine:
                 "floor_events": (list(self._ft_policy.events)
                                  if self._ft_policy else []),
             }
+        net = self.cluster.network
         return RunResult(
             membership=membership,
             algorithm=self.program.name,
@@ -1733,6 +1749,9 @@ class Engine:
             total_sim_time_s=self.cluster.clocks.global_max(),
             total_messages=totals.total_msgs,
             total_bytes=totals.total_bytes,
+            combined_records=net.combine_pre - net.combine_phys,
+            combine_ratio=(net.combine_pre / net.combine_phys
+                           if net.combine_phys else 1.0),
             halted_early=self._halted,
             ft_level_current=self._ft_level_current,
             ft_degraded=self._ft_degraded,

@@ -200,51 +200,201 @@ class SyncBatch:
 
 
 class GatherBatch:
-    """Columnar replica -> master partial-accumulator batch."""
+    """Columnar replica -> master partial-accumulator batch.
+
+    Each record is one *combined* partial per ``(dst_node, gid)`` —
+    the sender has already folded all its same-gid contributions
+    (DESIGN.md §15).  ``folded`` is an optional metadata column
+    recording how many pre-combine contributions each partial absorbed
+    (``max(1, contributions)`` — a record with no live contribution
+    still ships the init accumulator).  It feeds the ``net.combine.*``
+    accounting only: it costs no wire bytes and defaults to one per
+    record for programs without a declared combiner.
+    """
 
     is_columnar = True
 
-    __slots__ = ("gids", "accs", "sizes")
+    __slots__ = ("gids", "accs", "sizes", "folded")
 
     def __init__(self):
         self.gids: list[int] = []
         self.accs: list[Any] = []
         self.sizes: list[int] = []
+        #: Pre-combine contribution count per record; None => all 1.
+        self.folded: list[int] | None = None
 
-    def append(self, gid: int, acc: Any, acc_nbytes: int) -> None:
+    def append(self, gid: int, acc: Any, acc_nbytes: int,
+               folded: int | None = None) -> None:
         self.gids.append(gid)
         self.accs.append(acc)
         self.sizes.append(BYTES_PER_VID + acc_nbytes)
+        if folded is not None:
+            if self.folded is None:
+                self.folded = [1] * (len(self.gids) - 1)
+            self.folded.append(folded)
+        elif self.folded is not None:
+            self.folded.append(1)
 
     @classmethod
-    def from_columns(cls, gids: list, accs: list,
-                     sizes: list) -> "GatherBatch":
+    def from_columns(cls, gids: list, accs: list, sizes: list,
+                     folded: list | None = None) -> "GatherBatch":
         """Adopt pre-built columns (vectorized path)."""
         batch = cls()
         batch.gids = gids
         batch.accs = accs
         batch.sizes = sizes
+        batch.folded = folded
         return batch
 
     @property
     def record_count(self) -> int:
         return len(self.gids)
 
+    @property
+    def physical_record_count(self) -> int:
+        """Records actually on the wire (== logical: already combined)."""
+        return len(self.gids)
+
+    @property
+    def precombine_record_count(self) -> int:
+        """Contributions that would have shipped uncombined."""
+        if self.folded is None:
+            return len(self.gids)
+        return sum(self.folded)
+
     def nbytes(self) -> int:
+        return sum(self.sizes)
+
+    def physical_nbytes(self) -> int:
         return sum(self.sizes)
 
     def record_nbytes(self, index: int) -> int:
         return self.sizes[index]
 
+    def record_folded(self, index: int) -> int:
+        return 1 if self.folded is None else self.folded[index]
+
     def select(self, indices: Iterable[int]) -> "GatherBatch":
         out = GatherBatch()
+        if self.folded is not None:
+            out.folded = []
         for i in indices:
             out.gids.append(self.gids[i])
             out.accs.append(self.accs[i])
             out.sizes.append(self.sizes[i])
+            if self.folded is not None:
+                out.folded.append(self.folded[i])
         return out
 
     def clone(self) -> "GatherBatch":
+        return self.select(range(len(self.gids)))
+
+
+class RawGatherBatch:
+    """Uncombined replica -> master gather batch (combining *off*).
+
+    The differential baseline for the combining layer: instead of one
+    folded partial per ``(dst_node, gid)``, every per-edge contribution
+    travels and the receiver folds each record's group on arrival, in
+    shipped order (DESIGN.md §15).
+
+    The batch stays *logically* identical to its combined twin so the
+    two-tier cost model is unchanged: ``record_count``, ``nbytes()``
+    and ``record_nbytes`` all report the combined (logical) units —
+    ``sizes[i]`` is the size the folded partial would occupy — while
+    ``physical_record_count`` / ``physical_nbytes`` report what is
+    really on the wire.  Record-level chaos therefore draws the same
+    per-record verdict sequence in both modes, and dropping record *i*
+    drops its whole contribution group — exactly the records that
+    would have folded into the lost partial.
+    """
+
+    is_columnar = True
+
+    __slots__ = ("gids", "counts", "contribs", "sizes", "phys_sizes")
+
+    def __init__(self):
+        self.gids: list[int] = []
+        #: Contributions shipped for record i (0 => init-only record).
+        self.counts: list[int] = []
+        #: All contributions, flattened, grouped per record in order.
+        self.contribs: list[Any] = []
+        #: Logical (combined-equivalent) wire size per record.
+        self.sizes: list[int] = []
+        #: Physical wire size per record (gid + every contribution).
+        self.phys_sizes: list[int] = []
+
+    def append(self, gid: int, contributions: list, logical_nbytes: int,
+               physical_nbytes: int) -> None:
+        self.gids.append(gid)
+        self.counts.append(len(contributions))
+        self.contribs.extend(contributions)
+        self.sizes.append(logical_nbytes)
+        self.phys_sizes.append(physical_nbytes)
+
+    @classmethod
+    def from_columns(cls, gids: list, counts: list, contribs: list,
+                     sizes: list, phys_sizes: list) -> "RawGatherBatch":
+        batch = cls()
+        batch.gids = gids
+        batch.counts = counts
+        batch.contribs = contribs
+        batch.sizes = sizes
+        batch.phys_sizes = phys_sizes
+        return batch
+
+    @property
+    def record_count(self) -> int:
+        """Logical records — same unit as the combined batch."""
+        return len(self.gids)
+
+    @property
+    def physical_record_count(self) -> int:
+        """Records on the wire: one per contribution, min one."""
+        return sum(c if c else 1 for c in self.counts)
+
+    @property
+    def precombine_record_count(self) -> int:
+        return self.physical_record_count
+
+    def nbytes(self) -> int:
+        """Logical (combined-equivalent) payload bytes — cost model."""
+        return sum(self.sizes)
+
+    def physical_nbytes(self) -> int:
+        return sum(self.phys_sizes)
+
+    def record_nbytes(self, index: int) -> int:
+        return self.sizes[index]
+
+    def record_folded(self, index: int) -> int:
+        return self.counts[index] or 1
+
+    def _offsets(self) -> list[int]:
+        offsets = [0]
+        for c in self.counts:
+            offsets.append(offsets[-1] + c)
+        return offsets
+
+    def contributions_of(self, index: int) -> list:
+        start = sum(self.counts[:index])
+        return self.contribs[start:start + self.counts[index]]
+
+    def select(self, indices: Iterable[int]) -> "RawGatherBatch":
+        """Group-aware slice: a record keeps its whole contribution
+        group, so chaos dup/delay sub-batches fold to the same
+        partials as their combined twins."""
+        offsets = self._offsets()
+        out = RawGatherBatch()
+        for i in indices:
+            out.gids.append(self.gids[i])
+            out.counts.append(self.counts[i])
+            out.contribs.extend(self.contribs[offsets[i]:offsets[i + 1]])
+            out.sizes.append(self.sizes[i])
+            out.phys_sizes.append(self.phys_sizes[i])
+        return out
+
+    def clone(self) -> "RawGatherBatch":
         return self.select(range(len(self.gids)))
 
 

@@ -50,6 +50,7 @@ from repro.engine.messages import (
     ActivateBatch,
     GatherBatch,
     MirrorSyncPayload,
+    RawGatherBatch,
     SyncBatch,
 )
 from repro.errors import EngineError
@@ -268,13 +269,22 @@ class VectorizedExecutor:
                     st.refresh_activity(lg)
 
         # Phase 1: partial gathers over local in-edges flow to masters.
+        # Every kernel declares a combiner, so the combined batches
+        # carry their pre-combine contribution counts (``folded``), and
+        # with combining off the raw per-edge contributions ship in a
+        # RawGatherBatch instead (DESIGN.md §15).
+        combining = engine._combining
         for node in alive:
             st = self._state(node)
             topo = st.topo
             sel = st.active & topo.has_in
             esel = np.flatnonzero(sel[topo.in_dst]) \
                 if topo.in_dst.size else topo.in_dst
-            acc, _has = kernel.edge_fold(topo, st.values, esel)
+            seg, contrib = kernel.edge_contrib(topo, st.values, esel)
+            acc = kernel.init_acc(topo.n)
+            kernel.fold_into(acc, seg, contrib)
+            cnt = np.bincount(seg, minlength=topo.n) if seg.size \
+                else np.zeros(topo.n, dtype=np.int64)
             selpos = np.flatnonzero(sel)
             local = selpos[topo.master_node[selpos] == node]
             if local.size:
@@ -289,12 +299,40 @@ class VectorizedExecutor:
                 remote, dsts = remote[order], dsts[order]
                 bounds = np.flatnonzero(np.r_[True, dsts[1:] != dsts[:-1]])
                 rec_size = BYTES_PER_VID + kernel.acc_nbytes
+                folded_all = np.maximum(cnt[remote], 1)
+                if not combining:
+                    # Raw shipping: gather every contributing edge of a
+                    # remote record, grouped per record in batch order
+                    # with the CSR within-group order preserved (the
+                    # stable sort by record index), so the receiver's
+                    # group folds replay the sender's fold exactly.
+                    rec_idx = np.full(topo.n, -1, dtype=np.int64)
+                    rec_idx[remote] = np.arange(remote.size)
+                    rows = np.flatnonzero(rec_idx[seg] >= 0) \
+                        if seg.size else seg
+                    rows = rows[np.argsort(rec_idx[seg[rows]],
+                                           kind="stable")]
+                    flat = contrib[rows]
+                    counts_all = cnt[remote]
+                    coff = np.concatenate(
+                        ([0], np.cumsum(counts_all)))
+                    phys_all = (BYTES_PER_VID
+                                + folded_all * kernel.acc_nbytes)
                 for b, e in zip(bounds, np.r_[bounds[1:], dsts.size]):
                     grp = remote[b:e]
-                    outbox[(int(dsts[b]), MessageKind.GATHER)] = \
-                        GatherBatch.from_columns(
+                    key = (int(dsts[b]), MessageKind.GATHER)
+                    if combining:
+                        outbox[key] = GatherBatch.from_columns(
                             topo.gids[grp].tolist(), acc[grp].tolist(),
-                            [rec_size] * grp.size)
+                            [rec_size] * grp.size,
+                            folded_all[b:e].tolist())
+                    else:
+                        outbox[key] = RawGatherBatch.from_columns(
+                            topo.gids[grp].tolist(),
+                            counts_all[b:e].tolist(),
+                            flat[coff[b]:coff[e]].tolist(),
+                            [rec_size] * grp.size,
+                            phys_all[b:e].tolist())
                 engine._flush_batches(node, outbox)
             engine._step_edges[node] += int(topo.in_counts[sel].sum())
         engine._chaos_point("gather")
@@ -303,11 +341,17 @@ class VectorizedExecutor:
             st = self._state(node)
             for msg in net.deliver(node):
                 batch = msg.payload
+                if isinstance(batch, RawGatherBatch):
+                    accs = kernel.fold_groups(
+                        np.asarray(batch.counts, dtype=np.int64),
+                        batch.contribs)
+                else:
+                    accs = np.asarray(batch.accs, dtype=kernel.dtype)
                 pos = st.topo.translate(
                     np.asarray(batch.gids, dtype=np.int64))
                 self._partials.setdefault(node, []).append(
                     (pos, np.full(pos.size, msg.src, dtype=np.int64),
-                     np.asarray(batch.accs, dtype=kernel.dtype)))
+                     accs))
 
         # Phase 2: masters fold partials in (position, sender) order —
         # the vector image of the scalar per-vertex sort-by-sender fold.

@@ -80,6 +80,17 @@ class VertexProgram(abc.ABC):
 
     # -- gather ------------------------------------------------------------
 
+    #: Name of the commutative-associative combiner the gather fold
+    #: decomposes into — ``"sum"``, ``"min"`` or ``"max"`` — or ``None``
+    #: when the fold is opaque.  Declaring a combiner states that
+    #: ``gather(acc, src, w, dst) == op(acc, contribution(src, w, dst))``
+    #: *exactly* (including tie behaviour), which lets the combining
+    #: layer (DESIGN.md §15) fold same-destination records before
+    #: ``Network.send`` and, with combining off, ship the raw per-edge
+    #: contributions instead and fold them on the receiver — both
+    #: bit-identical to the plain gather loop.
+    combiner: str | None = None
+
     def gather_init(self) -> Any:
         """Identity element of the gather fold."""
         return None
@@ -88,6 +99,18 @@ class VertexProgram(abc.ABC):
     def gather(self, acc: Any, src: VertexView, weight: float,
                dst_vid: int) -> Any:
         """Fold one in-edge ``(src -> dst_vid, weight)`` into ``acc``."""
+
+    def contribution(self, src: VertexView, weight: float,
+                     dst_vid: int) -> Any:
+        """One in-edge's contribution to the gather fold.
+
+        Only consulted when :attr:`combiner` is declared.  Return
+        ``None`` for "no contribution" (e.g. a zero-out-degree PageRank
+        source); ``None`` contributions are skipped by the fold and
+        never shipped raw.
+        """
+        raise NotImplementedError(
+            f"{self.name}: combiner declared without contribution()")
 
     def update_edge(self, src: VertexView, dst_vid: int, weight: float,
                     ctx: ApplyContext) -> float | None:

@@ -101,6 +101,9 @@ class BackendSpec:
     batch_syncs: bool = True
     sync_elision: bool = True
     vectorized: bool = True
+    #: Message-combining layer (DESIGN.md §15): off ships raw per-edge
+    #: gather contributions instead of sender-folded partials.
+    combining: bool = True
     num_standby: int = 1
     seed: int = 2014
     #: Sorted ``(key, value)`` pairs forwarded to the vertex program
@@ -154,6 +157,7 @@ class BackendSpec:
             "batch_syncs": self.batch_syncs,
             "sync_elision": self.sync_elision,
             "vectorized": self.vectorized,
+            "combining": self.combining,
             "num_standby": self.num_standby,
             "seed": self.seed,
             "algorithm_kwargs": dict(self.algorithm_kwargs),
@@ -187,6 +191,10 @@ class BackendRunResult:
     wall_s: float
     halted: bool
     failures_recovered: int = 0
+    #: Physical gather records saved by combining (pre-combine minus
+    #: on-the-wire; DESIGN.md §15) and the corresponding ratio.
+    combined_records: int = 0
+    combine_ratio: float = 1.0
     extra: dict = field(default_factory=dict)
 
 

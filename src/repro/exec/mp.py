@@ -78,15 +78,18 @@ from typing import Any
 
 from repro.api import make_engine
 from repro.config import MP_HEARTBEAT_INTERVAL_S, MP_HEARTBEAT_MISSES
-from repro.engine.messages import ActivateBatch
+from repro.engine.messages import ActivateBatch, RawGatherBatch
 from repro.engine.vertex_program import ApplyContext
 from repro.errors import UnrecoverableFailureError
 from repro.exec.base import (BackendError, BackendRunResult, BackendSpec,
                              ExecutionBackend)
 from repro.membership.election import elect_leader
 from repro.exec.protocol import NodeProtocol
-from repro.exec.serialize import (decode_batch, encode_batch,
-                                  encoded_nbytes, encoded_records)
+from repro.exec.serialize import (TAG_GATHER, TAG_RAW_GATHER, decode_batch,
+                                  encode_batch, encoded_logical_nbytes,
+                                  encoded_logical_records,
+                                  encoded_precombine_records,
+                                  encoded_records)
 from repro.serve.router import MISS, ReplicaRouter
 from repro.serve.server import ReadResponse, ServeStats, WorkloadCursor
 from repro.serve.view import CommittedView
@@ -198,7 +201,8 @@ def _worker_main(rank: int, conn, close_conns, engine) -> None:
     lg = engine.local_graphs[rank]
     proto = NodeProtocol(engine.program, engine.is_edge_cut,
                          sync_elision=engine._sync_elision,
-                         selfish_opt=engine.selfish_opt_active)
+                         selfish_opt=engine.selfish_opt_active,
+                         combining=engine._combining)
     num_vertices = engine.graph.num_vertices
     num_edges = engine.graph.num_edges
     dirty: dict[int, Any] = {}
@@ -248,7 +252,11 @@ def _worker_main(rank: int, conn, close_conns, engine) -> None:
             it = frame[1]
             for src, enc in frame[2]:
                 batch = decode_batch(enc)
-                for gid, acc in zip(batch.gids, batch.accs):
+                if isinstance(batch, RawGatherBatch):
+                    accs = proto.fold_raw_gather(batch)
+                else:
+                    accs = batch.accs
+                for gid, acc in zip(batch.gids, accs):
                     partials.setdefault(gid, []).append((src, acc))
             outbox = {}
             vertices, elided = proto.master_fold_apply(
@@ -346,20 +354,32 @@ class _Worker:
 
 
 class _TrafficBook:
-    """Simulator-unit traffic accounting over routed encoded batches."""
+    """Simulator-unit traffic accounting over routed encoded batches.
+
+    Charges the *logical* (combined-equivalent) tier — the paper's
+    message unit, invariant under the combining knob (DESIGN.md §15) —
+    and tracks the pre-combine/physical gather record counts feeding
+    ``combined_records`` / ``combine_ratio``, mirroring the simulator
+    ``Network``'s combine counters.
+    """
 
     def __init__(self) -> None:
         self.total_msgs = 0
         self.total_bytes = 0
         self.total_batches = 0
         self.by_kind: dict[str, int] = defaultdict(int)
+        self.combine_pre = 0
+        self.combine_phys = 0
 
     def count(self, kind: str, enc: tuple) -> None:
-        records = encoded_records(enc)
+        records = encoded_logical_records(enc)
         self.total_msgs += records
-        self.total_bytes += encoded_nbytes(enc) + BYTES_PER_MSG_HEADER
+        self.total_bytes += encoded_logical_nbytes(enc) + BYTES_PER_MSG_HEADER
         self.total_batches += 1
         self.by_kind[kind] += records
+        if enc[0] in (TAG_GATHER, TAG_RAW_GATHER):
+            self.combine_pre += encoded_precombine_records(enc)
+            self.combine_phys += encoded_records(enc)
 
 
 class _MpReadServer:
@@ -1058,6 +1078,9 @@ class MultiprocessingBackend(ExecutionBackend):
             wall_s=wall_s,
             halted=halted,
             failures_recovered=self._rebirths,
+            combined_records=book.combine_pre - book.combine_phys,
+            combine_ratio=(book.combine_pre / book.combine_phys
+                           if book.combine_phys else 1.0),
             extra=extra)
 
     def _iterate(self, it: int, book: _TrafficBook, kill_now: set[int],

@@ -28,27 +28,48 @@ from __future__ import annotations
 from typing import Any
 
 from repro.cluster.network import MessageKind
+from repro.engine.combine import combiner_of, fold_raw_batch
 from repro.engine.messages import (ActiveBroadcastBatch, GatherBatch,
-                                   MirrorSyncPayload, SyncBatch)
+                                   MirrorSyncPayload, RawGatherBatch,
+                                   SyncBatch)
+from repro.utils.sizing import BYTES_PER_VID
 
 
 class NodeProtocol:
     """The scalar superstep protocol of one partition (both modes).
 
-    Stateless across supersteps apart from three policy knobs; one
+    Stateless across supersteps apart from four policy knobs; one
     instance can serve every partition of a backend.  ``selfish_opt``
     is re-evaluated by the engine each superstep (it depends on the
     program and FT config, both fixed per job, but mirroring the
     engine's per-superstep read keeps the delegation exact).
+
+    ``combining`` selects the vertex-cut gather wire format for
+    programs that declare a :attr:`VertexProgram.combiner` (DESIGN.md
+    §15): on (default), every remote partial is the sender-side fold of
+    its contributions — one combined record per ``(dst_node, gid)``,
+    annotated with the pre-combine contribution count; off, the raw
+    per-edge contributions ship in a :class:`RawGatherBatch` and the
+    master's node folds each group on receipt.  Both produce
+    bit-identical values and identical logical traffic.  Programs with
+    no combiner (or edge-mutating gathers, whose fold interleaves
+    ``update_edge`` calls) always use the combined format via the plain
+    ``gather`` loop.
     """
 
     def __init__(self, program, is_edge_cut: bool,
                  sync_elision: bool = True,
-                 selfish_opt: bool = False):
+                 selfish_opt: bool = False,
+                 combining: bool = True):
         self.program = program
         self.is_edge_cut = is_edge_cut
         self.sync_elision = sync_elision
         self.selfish_opt = selfish_opt
+        self.combining = combining
+        self.combiner = (None if program.mutates_edges
+                         else combiner_of(program))
+        from repro.engine.combine import scalar_op
+        self._op = scalar_op(self.combiner) if self.combiner else None
 
     # -- gather + apply -------------------------------------------------
 
@@ -180,6 +201,7 @@ class NodeProtocol:
         outbox entries.  Returns the number of edges folded.
         """
         program = self.program
+        combiner = self.combiner
         node = lg.node_id
         edges = 0
         for gid in (lg.active_masters_snapshot()
@@ -189,18 +211,52 @@ class NodeProtocol:
                 continue
             if not program.participates(gid, ctx):
                 continue
-            acc, _updates = self.gather_edges(lg, slot, ctx, mutation_log)
+            if combiner is None:
+                acc, _updates = self.gather_edges(lg, slot, ctx,
+                                                  mutation_log)
+                contribs = None
+            else:
+                # Contribution-decomposed fold: same arithmetic and
+                # order as gather_edges (the combiner declaration
+                # guarantees it), but the per-edge terms stay visible
+                # for the combining layer's accounting / raw shipping.
+                contribs = []
+                for src_pos, weight in slot.in_edges:
+                    c = program.contribution(lg.view(src_pos), weight,
+                                             slot.gid)
+                    if c is not None:
+                        contribs.append(c)
+                op = self._op
+                acc = program.gather_init()
+                for c in contribs:
+                    acc = c if acc is None else op(acc, c)
             edges += len(slot.in_edges)
             master_node = node if slot.is_master else slot.master_node
             if master_node == node:
                 partials_out.append((gid, acc))
+            elif combiner is not None and not self.combining:
+                key = (master_node, MessageKind.GATHER)
+                batch = outbox.get(key)
+                if not isinstance(batch, RawGatherBatch):
+                    batch = outbox[key] = RawGatherBatch()
+                logical = BYTES_PER_VID + program.acc_nbytes(acc)
+                physical = (BYTES_PER_VID
+                            + sum(program.acc_nbytes(c) for c in contribs)
+                            if contribs else logical)
+                batch.append(gid, contribs, logical, physical)
             else:
                 key = (master_node, MessageKind.GATHER)
                 batch = outbox.get(key)
                 if batch is None:
                     batch = outbox[key] = GatherBatch()
-                batch.append(gid, acc, program.acc_nbytes(acc))
+                folded = max(1, len(contribs)) if contribs is not None \
+                    else None
+                batch.append(gid, acc, program.acc_nbytes(acc), folded)
         return edges
+
+    def fold_raw_gather(self, batch: RawGatherBatch) -> list:
+        """Receiver-side fold: one combined accumulator per record."""
+        return fold_raw_batch(batch, self.program)
 
     def master_fold_apply(self, lg, partials: dict, ctx, outbox: dict,
                           dirty: dict) -> tuple[int, int]:

@@ -1,4 +1,4 @@
-"""Wire codec for the four columnar batch types (DESIGN.md §12).
+"""Wire codec for the five columnar batch types (DESIGN.md §12, §15).
 
 Batches cross process boundaries as plain tuples of primitive columns
 — no class identity on the wire — so the multiprocessing transport
@@ -6,9 +6,17 @@ never depends on pickle reconstructing engine classes, and a decoded
 batch is rebuilt through the same ``from_columns`` adoption path the
 vectorized executor uses (byte accounting stays identical).
 
-The encoded form also exposes the two numbers the coordinator's
-traffic accounting needs (record count and payload bytes) without
-materialising the batch object.
+The encoded header exposes both accounting tiers without
+materialising the batch object (DESIGN.md §15): the *physical* numbers
+(:func:`encoded_nbytes` / :func:`encoded_records`) describe what is
+actually on the wire after combining, while the *logical* numbers
+(:func:`encoded_logical_nbytes` / :func:`encoded_logical_records`)
+describe the combined-equivalent units the coordinator charges so the
+paper's cost model — and mp-vs-simulator message/byte parity — is
+independent of the combining knob.  :func:`encoded_precombine_records`
+adds the pre-combine contribution count feeding the combine-ratio
+counters.  The tiers only diverge for gather payloads; every other
+batch type reports the same number in both.
 """
 
 from __future__ import annotations
@@ -19,27 +27,40 @@ from repro.engine.messages import (
     ActivateBatch,
     ActiveBroadcastBatch,
     GatherBatch,
+    RawGatherBatch,
     SyncBatch,
 )
 
 TAG_SYNC = "sync"
 TAG_GATHER = "gather"
+TAG_RAW_GATHER = "raw_gather"
 TAG_ACTIVATE = "activate"
 TAG_BROADCAST = "broadcast"
 
-#: Encoded batch: (tag, payload_nbytes, record_count, *columns).
+#: Encoded batch: (tag, physical_nbytes, physical_records,
+#: logical_nbytes, logical_records, precombine_records, *columns).
 _TAG = 0
 _NBYTES = 1
 _RECORDS = 2
+_LOGICAL_NBYTES = 3
+_LOGICAL_RECORDS = 4
+_PRECOMBINE_RECORDS = 5
+
+
+def _header(tag: str, batch: Any) -> tuple:
+    phys_nbytes = getattr(batch, "physical_nbytes", batch.nbytes)()
+    phys_records = getattr(batch, "physical_record_count",
+                           batch.record_count)
+    pre_records = getattr(batch, "precombine_record_count",
+                          batch.record_count)
+    return (tag, phys_nbytes, phys_records, batch.nbytes(),
+            batch.record_count, pre_records)
 
 
 def encode_batch(batch: Any) -> tuple:
     """Flatten one columnar batch into a primitive tuple."""
     if isinstance(batch, SyncBatch):
-        return (
-            TAG_SYNC,
-            batch.nbytes(),
-            batch.record_count,
+        return _header(TAG_SYNC, batch) + (
             batch.full_state,
             list(batch.gids),
             list(batch.values),
@@ -48,21 +69,24 @@ def encode_batch(batch: Any) -> tuple:
             list(batch.edge_updates) if batch.full_state else None,
         )
     if isinstance(batch, GatherBatch):
-        return (
-            TAG_GATHER,
-            batch.nbytes(),
-            batch.record_count,
+        return _header(TAG_GATHER, batch) + (
             list(batch.gids),
             list(batch.accs),
             list(batch.sizes),
+            list(batch.folded) if batch.folded is not None else None,
+        )
+    if isinstance(batch, RawGatherBatch):
+        return _header(TAG_RAW_GATHER, batch) + (
+            list(batch.gids),
+            list(batch.counts),
+            list(batch.contribs),
+            list(batch.sizes),
+            list(batch.phys_sizes),
         )
     if isinstance(batch, ActivateBatch):
-        return (TAG_ACTIVATE, batch.nbytes(), batch.record_count, list(batch.gids))
+        return _header(TAG_ACTIVATE, batch) + (list(batch.gids),)
     if isinstance(batch, ActiveBroadcastBatch):
-        return (
-            TAG_BROADCAST,
-            batch.nbytes(),
-            batch.record_count,
+        return _header(TAG_BROADCAST, batch) + (
             list(batch.gids),
             list(batch.actives),
         )
@@ -71,9 +95,9 @@ def encode_batch(batch: Any) -> tuple:
 
 def decode_batch(enc: tuple) -> Any:
     """Rebuild the batch a tuple from :func:`encode_batch` describes."""
-    tag = enc[_TAG]
+    tag, cols = enc[_TAG], enc[_PRECOMBINE_RECORDS + 1:]
     if tag == TAG_SYNC:
-        _, _, _, full_state, gids, values, flags, sizes, edge_updates = enc
+        full_state, gids, values, flags, sizes, edge_updates = cols
         return SyncBatch.from_columns(
             gids,
             values,
@@ -83,12 +107,16 @@ def decode_batch(enc: tuple) -> Any:
             edge_updates=edge_updates,
         )
     if tag == TAG_GATHER:
-        _, _, _, gids, accs, sizes = enc
-        return GatherBatch.from_columns(gids, accs, sizes)
+        gids, accs, sizes, folded = cols
+        return GatherBatch.from_columns(gids, accs, sizes, folded)
+    if tag == TAG_RAW_GATHER:
+        gids, counts, contribs, sizes, phys_sizes = cols
+        return RawGatherBatch.from_columns(gids, counts, contribs,
+                                           sizes, phys_sizes)
     if tag == TAG_ACTIVATE:
-        return ActivateBatch(enc[3])
+        return ActivateBatch(cols[0])
     if tag == TAG_BROADCAST:
-        _, _, _, gids, actives = enc
+        gids, actives = cols
         batch = ActiveBroadcastBatch()
         batch.gids = list(gids)
         batch.actives = list(actives)
@@ -97,10 +125,28 @@ def decode_batch(enc: tuple) -> Any:
 
 
 def encoded_nbytes(enc: tuple) -> int:
-    """Payload bytes of an encoded batch (header excluded)."""
+    """Post-combine physical payload bytes on the wire (header
+    excluded)."""
     return enc[_NBYTES]
 
 
 def encoded_records(enc: tuple) -> int:
-    """Logical records carried by an encoded batch."""
+    """Post-combine physical records on the wire."""
     return enc[_RECORDS]
+
+
+def encoded_logical_nbytes(enc: tuple) -> int:
+    """Combined-equivalent payload bytes — the cost-model unit the
+    coordinator charges regardless of the combining knob."""
+    return enc[_LOGICAL_NBYTES]
+
+
+def encoded_logical_records(enc: tuple) -> int:
+    """Combined-equivalent logical records — the paper's message
+    unit."""
+    return enc[_LOGICAL_RECORDS]
+
+
+def encoded_precombine_records(enc: tuple) -> int:
+    """Pre-combine contribution count (combine-ratio numerator)."""
+    return enc[_PRECOMBINE_RECORDS]

@@ -83,5 +83,7 @@ class SimulatorBackend(ExecutionBackend):
             wall_s=wall_s,
             halted=result.halted_early,
             failures_recovered=len(result.recoveries),
+            combined_records=result.combined_records,
+            combine_ratio=result.combine_ratio,
             extra=extra,
         )

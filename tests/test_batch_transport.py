@@ -20,6 +20,7 @@ from repro.engine.local_graph import LocalGraph
 from repro.engine.messages import (
     ActivateBatch,
     GatherBatch,
+    RawGatherBatch,
     SyncBatch,
 )
 from repro.engine.state import MasterMeta, Role, VertexSlot
@@ -374,3 +375,199 @@ class TestBatchPayloads:
         assert a.record_count == 3
         assert a.nbytes() == 3 * BYTES_PER_VID
         assert a.select([2]).gids == [3]
+
+
+# ---------------------------------------------------------------------------
+# message combining (DESIGN.md §15)
+# ---------------------------------------------------------------------------
+
+
+def raw_gather_batch() -> RawGatherBatch:
+    """Three records: a 3-contribution run, a 2-run, a singleton."""
+    batch = RawGatherBatch()
+    rec = BYTES_PER_VID + 8
+    batch.append(10, [0.125, 0.25, 0.5], rec, BYTES_PER_VID + 24)
+    batch.append(11, [1.0, 2.0], rec, BYTES_PER_VID + 16)
+    batch.append(12, [5.0], rec, BYTES_PER_VID + 8)
+    return batch
+
+
+class TestCombiningPayloads:
+    def test_two_tier_accounting(self):
+        batch = raw_gather_batch()
+        rec = BYTES_PER_VID + 8
+        assert batch.record_count == 3           # logical (combined) tier
+        assert batch.physical_record_count == 6  # one per contribution
+        assert batch.precombine_record_count == 6
+        assert batch.nbytes() == 3 * rec
+        assert batch.physical_nbytes() == 3 * BYTES_PER_VID + 48
+        assert batch.record_nbytes(1) == rec     # logical size, for chaos
+        assert [batch.record_folded(i) for i in range(3)] == [3, 2, 1]
+        assert batch.contributions_of(1) == [1.0, 2.0]
+
+    def test_empty_group_still_one_physical_record(self):
+        batch = RawGatherBatch()
+        batch.append(3, [], BYTES_PER_VID + 8, BYTES_PER_VID + 8)
+        assert batch.record_count == 1
+        assert batch.physical_record_count == 1  # ships the init acc
+        assert batch.record_folded(0) == 1
+
+    def test_select_is_group_aware(self):
+        batch = raw_gather_batch()
+        sub = batch.select([1])
+        assert sub.gids == [11]
+        assert sub.counts == [2]
+        assert sub.contribs == [1.0, 2.0]
+        assert sub.nbytes() == batch.record_nbytes(1)
+        rest = batch.select([0, 2])
+        assert rest.contribs == [0.125, 0.25, 0.5, 5.0]
+        clone = batch.clone()
+        clone.contribs[0] = -1.0
+        assert batch.contribs[0] == 0.125
+
+    def test_gather_folded_column_is_lazy(self):
+        g = GatherBatch()
+        g.append(1, 0.5, 8)                # no folded info yet
+        assert g.folded is None
+        assert g.precombine_record_count == 1
+        g.append(2, 0.25, 8, folded=4)     # column materializes as 1s
+        g.append(3, 0.75, 8)
+        assert g.folded == [1, 4, 1]
+        assert g.precombine_record_count == 6
+        assert g.physical_record_count == 3
+        sub = g.select([1, 2])
+        assert sub.folded == [4, 1]
+        # folded is metadata only: wire bytes are unchanged by it.
+        assert g.nbytes() == 3 * (BYTES_PER_VID + 8)
+
+    def test_network_combine_counters(self):
+        net = make_net()
+        net.begin_step()
+        g = GatherBatch()
+        g.append(1, 0.5, 8, folded=3)
+        g.append(2, 0.25, 8, folded=1)
+        net.send(Message(MessageKind.GATHER, 0, 1, g, g.nbytes()))
+        assert (net.combine_pre, net.combine_phys) == (4, 2)
+        assert net.metrics.value("net.combine.records_pre.gather") == 4
+        assert net.metrics.value("net.combine.records_phys.gather") == 2
+        raw = raw_gather_batch()
+        net.send(Message(MessageKind.GATHER, 0, 1, raw, raw.nbytes()))
+        assert (net.combine_pre, net.combine_phys) == (10, 8)
+        # Non-gather payloads never touch the combine counters.
+        batch = sync_batch(5)
+        net.send(Message(MessageKind.SYNC, 0, 1, batch, batch.nbytes()))
+        assert (net.combine_pre, net.combine_phys) == (10, 8)
+        # The logical tier is what the classic counters keep charging.
+        assert net.totals.msgs_by_kind[MessageKind.GATHER] == 5
+
+
+class TestRawGatherChaos:
+    """Record chaos is drawn per *logical* record (satellite: a dropped
+    record deducts exactly the contributions that would have folded
+    into the lost partial)."""
+
+    def send_raw(self, verdicts):
+        net = make_net()
+        net.begin_step()
+        inj = ScriptedInjector(verdicts)
+        net.fault_injector = inj.message
+        net.record_fault_injector = inj.record
+        batch = raw_gather_batch()
+        net.send(Message(MessageKind.GATHER, 0, 1, batch, batch.nbytes()))
+        return net, batch, inj
+
+    def test_drop_inside_combined_run(self):
+        net, batch, inj = self.send_raw(["deliver", "drop", "deliver"])
+        assert inj.calls == 3  # one verdict per logical record, not 6
+        (main,) = net.deliver(1)
+        # Record 11's whole 2-contribution run vanished with it; the
+        # surviving groups are intact and in order.
+        assert main.payload.gids == [10, 12]
+        assert main.payload.counts == [3, 1]
+        assert main.payload.contribs == [0.125, 0.25, 0.5, 5.0]
+        assert net.chaos_dropped_msgs == 1
+        assert net.chaos_dropped_bytes == batch.record_nbytes(1)
+
+    def test_delay_travels_with_group(self):
+        net, _, _ = self.send_raw(["deliver", "delay", "deliver"])
+        main, late = net.deliver(1)
+        assert main.payload.gids == [10, 12]
+        assert late.payload.gids == [11]
+        assert late.payload.contribs == [1.0, 2.0]
+
+
+def _vc_run(partition, combining, chaos=False, **kw):
+    graph = generators.power_law(120, alpha=2.0, seed=5, avg_degree=6.0,
+                                 name="comb-pl")
+    kw.setdefault("max_iterations", 6)
+    engine = make_engine(graph, kw.pop("algorithm", "pagerank"),
+                         partition=partition, num_nodes=4,
+                         combining=combining, **kw)
+    if chaos:
+        sched = FailureSchedule(seed=13).with_message_faults(drop=0.04,
+                                                             delay=0.04)
+        ChaosController(sched).attach(engine)
+    result = engine.run()
+    return engine, result
+
+
+class TestCombiningDifferential:
+    """Combining on/off bit-exactness: values, logical messages, wire
+    bytes and simulated time must be identical — only the physical
+    record tier (and thus ``combine_ratio``) may differ."""
+
+    @pytest.mark.parametrize("partition", ["random_vertex_cut",
+                                           "hybrid_cut"])
+    @pytest.mark.parametrize("algorithm,akw", [
+        ("pagerank", {}),
+        ("sssp", {"algorithm_kwargs": {"source": 0}}),
+        ("cc", {}),
+        ("degree", {}),
+    ])
+    def test_on_off_bit_exact(self, partition, algorithm, akw):
+        _, on = _vc_run(partition, True, algorithm=algorithm, **akw)
+        _, off = _vc_run(partition, False, algorithm=algorithm, **akw)
+        assert on.values == off.values
+        assert on.total_messages == off.total_messages
+        assert on.total_bytes == off.total_bytes
+        assert on.total_sim_time_s == off.total_sim_time_s
+        assert on.iteration_stats == off.iteration_stats
+        assert off.combined_records == 0
+        assert off.combine_ratio == 1.0
+        if partition == "random_vertex_cut":
+            assert on.combine_ratio > 1.5
+            assert on.combined_records > 0
+
+    def test_pre_combine_tier_matches_off_mode_physical(self):
+        """ON's pre-combine count is exactly what OFF puts on the wire."""
+        eng_on, _ = _vc_run("random_vertex_cut", True)
+        eng_off, _ = _vc_run("random_vertex_cut", False)
+        net_on = eng_on.cluster.network
+        net_off = eng_off.cluster.network
+        assert net_on.combine_pre == net_off.combine_phys
+        assert net_on.combine_phys < net_off.combine_phys
+
+    def test_chaos_record_faults_identical(self):
+        """Drop/delay verdicts draw per logical record: the chaos slice
+        of the differential must stay bit-exact, because a dropped raw
+        record takes exactly the contribution group that would have
+        folded into the lost combined partial."""
+        eng_on, on = _vc_run("random_vertex_cut", True, chaos=True)
+        eng_off, off = _vc_run("random_vertex_cut", False, chaos=True)
+        assert on.values == off.values
+        assert on.total_messages == off.total_messages
+        assert on.total_bytes == off.total_bytes
+        net_on, net_off = eng_on.cluster.network, eng_off.cluster.network
+        assert net_on.chaos_dropped_msgs == net_off.chaos_dropped_msgs
+        assert net_on.chaos_dropped_bytes == net_off.chaos_dropped_bytes
+        assert net_on.chaos_delayed_msgs == net_off.chaos_delayed_msgs
+        assert net_on.chaos_dropped_msgs > 0  # non-vacuous
+
+    def test_batch_syncs_off_keeps_parity(self):
+        """Per-record transport re-splits batches record by record; the
+        group-aware select must keep OFF-mode parity through it."""
+        _, on = _vc_run("random_vertex_cut", True, batch_syncs=False)
+        _, off = _vc_run("random_vertex_cut", False, batch_syncs=False)
+        assert on.values == off.values
+        assert on.total_messages == off.total_messages
+        assert on.total_bytes == off.total_bytes

@@ -85,6 +85,47 @@ class TestDifferentialOracle:
             mp = backend.run(graph, spec)
         _assert_equivalent(sim, mp)
 
+    @pytest.mark.parametrize("combining", [True, False])
+    def test_combining_parity(self, graph, combining):
+        """Combining oracle (DESIGN.md §15): both wire formats produce
+        identical values and logical accounting on both backends, and
+        the combine counters agree with the simulator's exactly."""
+        spec = BackendSpec(algorithm="pagerank", num_nodes=4,
+                           partition="random_vertex_cut",
+                           max_iterations=8, combining=combining)
+        sim = SimulatorBackend().run(graph, spec)
+        with MultiprocessingBackend() as backend:
+            mp = backend.run(graph, spec)
+        _assert_equivalent(sim, mp)
+        assert mp.combined_records == sim.combined_records
+        assert mp.combine_ratio == sim.combine_ratio
+        if combining:
+            assert mp.combine_ratio > 1.5
+        else:
+            assert mp.combine_ratio == 1.0
+            assert mp.combined_records == 0
+
+    def test_combining_off_matches_on(self, graph):
+        """The uncombined wire format changes nothing observable at the
+        logical tier, across real process boundaries too."""
+        on = BackendSpec(algorithm="sssp", num_nodes=4,
+                         partition="random_vertex_cut", max_iterations=8,
+                         algorithm_kwargs=(("source", 0),))
+        off = BackendSpec(algorithm="sssp", num_nodes=4,
+                          partition="random_vertex_cut", max_iterations=8,
+                          combining=False,
+                          algorithm_kwargs=(("source", 0),))
+        with MultiprocessingBackend() as backend:
+            mp_on = backend.run(graph, on)
+        with MultiprocessingBackend() as backend:
+            mp_off = backend.run(graph, off)
+        assert mp_on.values == mp_off.values
+        assert mp_on.total_msgs == mp_off.total_msgs
+        assert mp_on.total_bytes == mp_off.total_bytes
+        assert mp_on.msgs_by_kind == mp_off.msgs_by_kind
+        assert mp_on.combined_records > 0
+        assert mp_off.combined_records == 0
+
     def test_sync_elision_parity(self, graph):
         """Elision fires on converging SSSP and both backends elide the
         same records (and fewer messages than the elision-off run)."""

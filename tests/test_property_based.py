@@ -245,6 +245,79 @@ class TestVectorizedKernelProperties:
         assert np.array_equal(topo.translate(topo.gids[occ]), occ)
 
 
+class TestCombinerProperties:
+    """Combining-layer invariants (DESIGN.md §15): the declared
+    combiners are commutative-associative over the values the programs
+    produce, and the raw wire format's receiver-side group fold equals
+    the sender-side fold bit-for-bit for any contribution multiset."""
+
+    @SLOW
+    @given(contribs=st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                                       allow_nan=False), max_size=20),
+           order_seed=st.integers(0, 1000),
+           name=st.sampled_from(["min", "max"]))
+    def test_min_max_fold_is_order_free(self, contribs, order_seed, name):
+        from repro.engine.combine import fold_contributions
+        acc, folded = fold_contributions(name, None, contribs)
+        rng = np.random.default_rng(order_seed)
+        shuffled = [contribs[i] for i in rng.permutation(len(contribs))]
+        acc2, folded2 = fold_contributions(name, None, shuffled)
+        assert acc == acc2 and folded == folded2 == len(contribs)
+
+    @SLOW
+    @given(contribs=st.lists(st.integers(-10**6, 10**6), max_size=20),
+           order_seed=st.integers(0, 1000))
+    def test_sum_fold_is_order_free_on_exact_values(self, contribs,
+                                                    order_seed):
+        # float sums are only order-free when every partial is exactly
+        # representable — integer-valued contributions are; that is why
+        # the determinism contract pins the fold order instead of
+        # relying on commutativity of float addition.
+        from repro.engine.combine import fold_contributions
+        floats = [float(c) for c in contribs]
+        acc, _ = fold_contributions("sum", 0.0, floats)
+        rng = np.random.default_rng(order_seed)
+        shuffled = [floats[i] for i in rng.permutation(len(floats))]
+        acc2, _ = fold_contributions("sum", 0.0, shuffled)
+        assert acc == acc2
+
+    @SLOW
+    @given(groups=st.lists(st.lists(st.floats(min_value=0.0,
+                                              max_value=1e3,
+                                              allow_nan=False),
+                                    max_size=6),
+                           min_size=1, max_size=8),
+           name=st.sampled_from(["sum", "min", "max"]))
+    def test_receiver_group_fold_matches_sender_fold(self, groups, name):
+        """RawGatherBatch round trip: folding each shipped group on the
+        receiver reproduces the partial the sender would have combined,
+        in both the scalar and the vectorized (ufunc.at) fold."""
+        from repro.engine.combine import fold_contributions, ufunc_of
+
+        batch_counts = np.array([len(g) for g in groups], dtype=np.int64)
+        flat = [c for g in groups for c in g]
+        init = 0.0 if name == "sum" else None
+        expected = [fold_contributions(name, init, g)[0] for g in groups]
+
+        # Scalar receiver fold (fold_raw_batch's loop).
+        scalar = [fold_contributions(name, init, g)[0] for g in groups]
+        assert scalar == expected
+
+        # Vectorized receiver fold: index-order ufunc scatter.
+        sentinel = {"sum": 0.0, "min": np.inf, "max": -np.inf}[name]
+        acc = np.full(len(groups), sentinel, dtype=np.float64)
+        if flat:
+            ridx = np.repeat(np.arange(len(groups)), batch_counts)
+            ufunc_of(name).at(acc, ridx, np.asarray(flat))
+        for i, g in enumerate(groups):
+            if not g:
+                continue  # empty groups keep the fold identity
+            want = expected[i]
+            if name != "sum" and want is None:
+                continue
+            assert acc[i] == (want if init is not None or g else sentinel)
+
+
 class TestRebalanceProperties:
     """Incremental Fennel restreaming (DESIGN.md §14): elastic joins
     and drains must keep every master on a live node, stay deterministic

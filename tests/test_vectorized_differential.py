@@ -109,6 +109,41 @@ def test_elision_disabled_identical(chaos_graph, partition):
             f"sssp/{partition}/no-elision: diverged on {field}"
 
 
+VC_PARTITIONS = ["random_vertex_cut", "hybrid_cut"]
+
+
+@pytest.mark.parametrize("combining", [True, False])
+@pytest.mark.parametrize("partition", VC_PARTITIONS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_combining_modes_identical(chaos_graph, algorithm, partition,
+                                   combining):
+    """The combining layer (DESIGN.md §15) in both wire formats: the
+    vectorized vertex-cut gather — combined partials with folded
+    counts, or raw contribution groups — must stay bit-equal to the
+    scalar protocol's."""
+    kw = _kwargs(algorithm, partition, 1)
+    kw["combining"] = combining
+    scalar = _run(chaos_graph, algorithm, False, kw)
+    vectorized = _run(chaos_graph, algorithm, True, kw)
+    for field in scalar:
+        assert vectorized[field] == scalar[field], \
+            (f"{algorithm}/{partition}/combining={combining}: "
+             f"vectorized path diverged on {field}")
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_combining_off_matches_on_vectorized(chaos_graph, algorithm):
+    """Within the vectorized path, the raw (combining-off) wire format
+    is observationally identical to the combined one — values, logical
+    messages, bytes and simulated time."""
+    kw = _kwargs(algorithm, "random_vertex_cut", 1)
+    on = _run(chaos_graph, algorithm, True, {**kw, "combining": True})
+    off = _run(chaos_graph, algorithm, True, {**kw, "combining": False})
+    for field in on:
+        assert off[field] == on[field], \
+            f"{algorithm}: combining=False diverged on {field}"
+
+
 def test_custom_program_falls_back_to_scalar(chaos_graph):
     """A VertexProgram without a kernel() must run the scalar loop even
     with vectorized=True — the fallback rule of DESIGN.md §11."""
